@@ -1,0 +1,241 @@
+// piabench regenerates the paper's evaluation from the command line:
+// Table 1 and the Fig. 1-6 scenarios, plus the ablations the design
+// document calls out. Each experiment prints the rows the paper
+// reports (or the structural facts a figure shows).
+//
+//	piabench -exp table1
+//	piabench -exp fig1|fig2|fig3|fig4|fig5|fig6
+//	piabench -exp runlevel|policy|checkpoint|incremental|snapshot|memsync
+//	piabench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/vtime"
+	"repro/internal/wubbleu"
+)
+
+func main() {
+	exp := flag.String("exp", "table1", "experiment to run (table1, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
+	flag.Parse()
+
+	runners := map[string]func(int) error{
+		"table1":      table1,
+		"fig1":        fig1,
+		"fig2":        fig2,
+		"fig3":        fig3,
+		"fig4":        fig4,
+		"fig5":        fig5,
+		"fig6":        fig6,
+		"runlevel":    runlevel,
+		"policy":      policy,
+		"checkpoint":  checkpoint,
+		"incremental": incremental,
+		"snapshot":    snapshotScale,
+		"memsync":     memsync,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"runlevel", "policy", "checkpoint", "incremental", "snapshot", "memsync"} {
+			fmt.Printf("\n================ %s ================\n", name)
+			if err := runners[name](*pageKB); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if err := run(*pageKB); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table1(pageKB int) error {
+	fmt.Printf("Table 1: time and simulation overhead on several configurations of the WubbleU example (%d KB page)\n\n", pageKB)
+	rows, err := experiments.Table1(experiments.Table1Config{PageSize: pageKB * 1024, Images: 4})
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "Location\tDetail level\tsimulation time\tvirtual load\tlink drives\toverhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%d\t%.0fx\n", r.Location, r.Level, r.Wall, r.Virt, r.Drives, r.Overhead)
+	}
+	return w.Flush()
+}
+
+func fig1(int) error {
+	fmt.Println("Fig 1: several Pia nodes connected through the network —")
+	fmt.Println("two subsystem nodes over TCP plus a remote hardware connection.")
+	res, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  page loads completed: %d\n", res.Loads)
+	fmt.Printf("  interrupts forwarded from remote hardware: %d\n", res.HWInterrupts)
+	fmt.Printf("  wall clock: %v\n", res.Wall)
+	return nil
+}
+
+func fig2(int) error {
+	fmt.Println("Fig 2: a net split across two subsystems gets hidden ports owned by channel components.")
+	splits, err := experiments.Fig2()
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "net\tcrossing\tfragments")
+	for _, s := range splits {
+		fmt.Fprintf(w, "%s\t%v\t%v\n", s.Net, s.Crossing, s.Fragments)
+	}
+	return w.Flush()
+}
+
+func fig3(int) error {
+	fmt.Println("Fig 3: Subsystem 1 must stall to maintain continuous consistency (or run optimistically and restore).")
+	rows, err := experiments.Fig3(50, 20000)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "policy\twall\tdelivered\tstalls\trestores\tstragglers")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%d\n", r.Policy, r.Wall, r.Delivered, r.Stalls, r.Restores, r.Stragglers)
+	}
+	return w.Flush()
+}
+
+func fig4(int) error {
+	fmt.Println("Fig 4: SS1 obtains safe times from both SS2 and SS3 before advancing.")
+	res, err := experiments.Fig4(20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  asks to SS2: %d (grants back: %d)\n", res.AsksToSS2, res.GrantsFromSS2)
+	fmt.Printf("  asks to SS3: %d (grants back: %d)\n", res.AsksToSS3, res.GrantsFromSS3)
+	fmt.Printf("  deliveries: %d, causality violations: %v\n", res.Delivered, res.Violations)
+	return nil
+}
+
+func fig5(int) error {
+	fmt.Println("Fig 5: the WubbleU communication flow graph (module -> module over net).")
+	w := tw()
+	fmt.Fprintln(w, "net\tendpoints")
+	for net, ends := range wubbleu.CommunicationGraph() {
+		fmt.Fprintf(w, "%s\t%s <-> %s\n", net, ends[0], ends[1])
+	}
+	return w.Flush()
+}
+
+func fig6(pageKB int) error {
+	fmt.Println("Fig 6: the studied architecture — all processes on the CPU except the")
+	fmt.Println("network interface on the cellular ASIC; its simulation topology places")
+	fmt.Println("the ASIC (and the server behind the wireless link) on the remote subsystem:")
+	pl := wubbleu.RemotePlacement()
+	fmt.Printf("  CPU subsystem    %q: ui, recog, browser, cache, jpeg\n", pl.CPU)
+	fmt.Printf("  remote subsystem %q: asic (network interface, DMA), server\n", pl.Modem)
+	row, err := experiments.Remote(experiments.Table1Config{PageSize: pageKB * 1024, Images: 4}, "packetLevel")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  smoke run (remote, packet): %v wall, %v virtual\n", row.Wall, row.Virt)
+	return nil
+}
+
+func runlevel(pageKB int) error {
+	fmt.Println("Dynamic detail switching: fixed word vs fixed packet vs switchpoint mid-run (2 loads).")
+	rows, err := experiments.RunlevelSwitch(pageKB * 1024)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mode\twall\tlink drives")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%d\n", r.Mode, r.Wall, r.Drives)
+	}
+	return w.Flush()
+}
+
+func policy(int) error {
+	fmt.Println("Channel policy sweep: conservative vs optimistic across communication densities.")
+	rows, err := experiments.PolicySweep(50, 20000, []vtime.Duration{20, 200, 2000})
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "period\tpolicy\twall\tstalls\trestores\tstragglers")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%s\t%v\t%d\t%d\t%d\n", r.Period, r.Policy, r.Wall, r.Stalls, r.Restores, r.Stragglers)
+	}
+	return w.Flush()
+}
+
+func checkpoint(int) error {
+	fmt.Println("Checkpoint interval vs rollback replay cost.")
+	rows, err := experiments.CheckpointInterval(20000, []vtime.Duration{10, 100, 1000, 10000})
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "interval\tcheckpoints\treplay steps\twall")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%v\n", r.Interval, r.Checkpoints, r.ReplaySteps, r.Wall)
+	}
+	return w.Flush()
+}
+
+func incremental(int) error {
+	fmt.Println("Full vs incremental checkpoints (the paper's future work).")
+	rows, err := experiments.IncrementalCheckpoint(256, 20)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mode\tcheckpoints\ttotal bytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\n", r.Mode, r.Checkpoints, r.TotalBytes)
+	}
+	return w.Flush()
+}
+
+func snapshotScale(int) error {
+	fmt.Println("Chandy-Lamport snapshot completion vs subsystem count.")
+	rows, err := experiments.SnapshotScale([]int{2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "subsystems\twall\tin-flight captured")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%v\t%d\n", r.Subsystems, r.Wall, r.InFlight)
+	}
+	return w.Flush()
+}
+
+func memsync(int) error {
+	fmt.Println("Interrupt consistency: static synchronous marking vs optimistic with rewind.")
+	rows, err := experiments.Memsync(2000, 10)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mode\tviolations\trestores\tdynamically marked\twall")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%v\n", r.Mode, r.Violations, r.Restores, r.SyncMarked, r.Wall)
+	}
+	return w.Flush()
+}

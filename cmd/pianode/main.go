@@ -1,0 +1,90 @@
+// pianode runs a standalone Pia node serving the modem site of the
+// WubbleU design: the cellular communication ASIC plus the dedicated
+// server behind its wireless link. This is the parts-vendor scenario
+// the paper motivates — a component made available over the network
+// for designers to patch into their simulated circuits.
+//
+// Start the server:
+//
+//	pianode -listen 127.0.0.1:7777 -level packetLevel
+//
+// then run the handheld side against it:
+//
+//	wubbleu -remote 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/vtime"
+	"repro/internal/wubbleu"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7777", "address to serve Pia channels on")
+	level := flag.String("level", "packetLevel", "initial DMA detail level (hardwareLevel|wordLevel|packetLevel)")
+	pageKB := flag.Int("page", 66, "page size in KB served by the web store")
+	images := flag.Int("images", 4, "images embedded in the page")
+	verbose := flag.Bool("v", false, "log channel activity")
+	flag.Parse()
+
+	cfg := wubbleu.DefaultConfig()
+	cfg.PageSize = *pageKB * 1024
+	cfg.Images = *images
+	cfg.Level = *level
+
+	sub := core.NewSubsystem("modemsite")
+	if _, err := wubbleu.InstallModemSite(sub, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	n := node.New("modem-node")
+	if *verbose {
+		n.Tracer = func(s string) { log.Print(s) }
+	}
+	hosted := n.Host(sub)
+	// When a designer's node connects, splice the incoming channel
+	// into our fragment of the split "dma" net.
+	hosted.OnChannel = func(ep *channel.Endpoint) {
+		if err := ep.BindNet(sub.Net("dma"), "dma"); err != nil {
+			log.Printf("pianode: bind dma: %v", err)
+		}
+	}
+
+	addr, err := n.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pianode: serving subsystem %q (level %s, %d KB page) on %s\n",
+		sub.Name(), cfg.Level, *pageKB, addr)
+
+	// The listening socket is a standing ingress source: the
+	// subsystem must not declare the simulation over just because no
+	// designer has connected yet.
+	sub.AddExternal()
+
+	done := make(chan error, 1)
+	go func() { done <- sub.Run(vtime.Infinity) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("pianode: simulation complete")
+	case <-sig:
+		fmt.Println("pianode: interrupted")
+		sub.Stop()
+		<-done
+	}
+	n.Close()
+}

@@ -1,0 +1,134 @@
+// wubbleu runs the paper's WubbleU page-load experiment from the
+// command line: locally (the whole design in one subsystem), locally
+// distributed (two subsystems bridged in-process), or against a
+// remote pianode serving the modem site.
+//
+//	wubbleu                               # local, packet level
+//	wubbleu -level wordLevel              # local, word passage
+//	wubbleu -remote 127.0.0.1:7777        # dial a pianode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	pia "repro"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/vtime"
+	"repro/internal/wubbleu"
+)
+
+func main() {
+	level := flag.String("level", "packetLevel", "DMA detail level (hardwareLevel|wordLevel|packetLevel)")
+	remote := flag.String("remote", "", "address of a pianode serving the modem site (empty: simulate locally)")
+	pageKB := flag.Int("page", 66, "page size in KB")
+	images := flag.Int("images", 4, "images embedded in the page")
+	loads := flag.Int("loads", 1, "page loads to perform")
+	script := flag.String("script", "", "simulation run control file with switchpoint rules (local runs only)")
+	flag.Parse()
+
+	cfg := wubbleu.DefaultConfig()
+	cfg.PageSize = *pageKB * 1024
+	cfg.Images = *images
+	cfg.Loads = *loads
+	cfg.Level = *level
+	cfg.NoCache = *loads > 1
+
+	if *remote == "" {
+		runLocal(cfg, *script)
+		return
+	}
+	if *script != "" {
+		log.Fatal("wubbleu: -script applies to local runs (the remote node owns the ASIC's runlevel)")
+	}
+	runRemote(cfg, *remote)
+}
+
+func runLocal(cfg wubbleu.Config, script string) {
+	b := pia.NewSystem("wubbleu")
+	app, err := wubbleu.Install(b, cfg, wubbleu.LocalPlacement())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := b.BuildLocal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if script != "" {
+		// The paper's "switchpoint defined in the simulation run
+		// control file": rules like
+		//   when browser >= 790_000_000: asic->packetLevel
+		src, err := os.ReadFile(script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := sim.Engines["main"]
+		if err := engine.LoadScript(string(src)); err != nil {
+			log.Fatalf("wubbleu: %s: %v", script, err)
+		}
+		fmt.Printf("loaded %d switchpoints from %s\n", len(engine.Switchpoints()), script)
+	}
+	start := time.Now()
+	if err := sim.Run(pia.Infinity); err != nil {
+		log.Fatal(err)
+	}
+	report(app.Result(), cfg, time.Since(start), "local")
+}
+
+func runRemote(cfg wubbleu.Config, addr string) {
+	sub := core.NewSubsystem("handheld")
+	half, err := wubbleu.InstallHandheld(sub, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := node.New("designer-node")
+	n.Host(sub)
+	ep, err := n.Connect("handheld", addr, "modemsite", pia.Conservative, pia.LoopbackLink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ep.BindNet(sub.Net("dma"), "dma"); err != nil {
+		log.Fatal(err)
+	}
+	n.FinishAgents()
+
+	// Generous virtual horizon: radio time dominates.
+	horizon := vtime.Time(vtime.Duration(int64(cfg.PageSize)*8*int64(vtime.Second)/cfg.RadioBitsPerSec) * 100 * vtime.Duration(cfg.Loads))
+	start := time.Now()
+	if err := sub.Run(horizon); err != nil {
+		log.Fatal(err)
+	}
+	n.CloseChannels()
+	n.Close()
+
+	res := resultOf(half)
+	report(res, cfg, time.Since(start), "remote "+addr)
+}
+
+func resultOf(h *wubbleu.HandheldHalf) wubbleu.Result {
+	r := wubbleu.Result{Loads: h.UI.Done, PageBytes: h.UI.Bytes, CacheHits: h.Cache.Hits}
+	for i := 0; i < h.UI.Done; i++ {
+		if d, err := h.UI.LoadTime(i); err == nil {
+			r.LoadVirt = append(r.LoadVirt, d)
+		}
+	}
+	return r
+}
+
+func report(res wubbleu.Result, cfg wubbleu.Config, wall time.Duration, where string) {
+	fmt.Printf("WubbleU %s, %s, %d KB page\n", where, cfg.Level, cfg.PageSize/1024)
+	if res.Loads != cfg.Loads {
+		log.Fatalf("only %d/%d loads completed", res.Loads, cfg.Loads)
+	}
+	for i, d := range res.LoadVirt {
+		fmt.Printf("  load %d: %v virtual time, %d bytes\n", i+1, d, res.PageBytes[i])
+	}
+	if res.DMADrives > 0 {
+		fmt.Printf("  DMA drives on the switchable link: %d\n", res.DMADrives)
+	}
+	fmt.Printf("  simulation time (wall clock): %v\n", wall)
+}

@@ -1,0 +1,155 @@
+package pia
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/detail"
+	"repro/internal/node"
+	"repro/internal/snapshot"
+)
+
+// Node re-exports the Pia node type for distributed deployments.
+type Node = node.Node
+
+// NewNode creates a Pia node.
+func NewNode(name string) *Node { return node.New(name) }
+
+// Cluster is a system realized across Pia nodes: a Simulation whose
+// subsystems live on (possibly several) nodes, with cross-node
+// channels carried over TCP.
+type Cluster struct {
+	Simulation
+	Nodes map[string]*Node // subsystem -> hosting node
+
+	nodeSet []*Node
+}
+
+// BuildOnNodes realizes the description across the given nodes:
+// placement maps every subsystem name to the node hosting it.
+// Subsystem pairs on the same node are bridged in-process; pairs on
+// different nodes get a TCP channel (each node listens on an
+// ephemeral loopback port unless it is already listening).
+func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	v, err := b.view()
+	if err != nil {
+		return nil, err
+	}
+	splits, chans, err := v.Partition()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.validateTopology(chans); err != nil {
+		return nil, err
+	}
+	for _, sub := range v.Subsystems() {
+		if placement[sub] == nil {
+			return nil, fmt.Errorf("pia: subsystem %q has no node in the placement", sub)
+		}
+	}
+
+	cl := &Cluster{
+		Simulation: Simulation{
+			Name:       b.name,
+			Subsystems: make(map[string]*core.Subsystem),
+			Hubs:       make(map[string]*channel.Hub),
+			Agents:     make(map[string]*snapshot.Agent),
+			Engines:    make(map[string]*detail.Engine),
+		},
+		Nodes: make(map[string]*Node),
+	}
+	seen := map[*Node]bool{}
+	addrs := map[*Node]string{}
+	for _, subName := range v.Subsystems() {
+		n := placement[subName]
+		s := core.NewSubsystem(subName)
+		hosted := n.Host(s)
+		cl.Subsystems[subName] = s
+		cl.Hubs[subName] = hosted.Hub
+		cl.Nodes[subName] = n
+		cl.subOrder = append(cl.subOrder, subName)
+		if !seen[n] {
+			seen[n] = true
+			cl.nodeSet = append(cl.nodeSet, n)
+		}
+	}
+	if err := b.populate(cl.Subsystems, splits); err != nil {
+		return nil, err
+	}
+
+	// Start listeners on nodes that will accept cross-node channels.
+	needListen := map[*Node]bool{}
+	for _, cs := range chans {
+		na, nb := placement[cs.A], placement[cs.B]
+		if na != nb {
+			needListen[nb] = true
+		}
+	}
+	for n := range needListen {
+		addr, err := n.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[n] = addr
+	}
+
+	for _, cs := range chans {
+		cfg := b.pairCfg(cs.A, cs.B)
+		na, nb := placement[cs.A], placement[cs.B]
+		var epA, epB *channel.Endpoint
+		if na == nb {
+			epA, epB, err = channel.Connect(cl.Hubs[cs.A], cl.Hubs[cs.B], cfg.policy, cfg.link)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			epA, err = na.Connect(cs.A, addrs[nb], cs.B, cfg.policy, cfg.link)
+			if err != nil {
+				return nil, err
+			}
+			epB = cl.Hubs[cs.B].Endpoint(cs.A)
+			if epB == nil {
+				return nil, fmt.Errorf("pia: handshake for %s<->%s left no endpoint", cs.A, cs.B)
+			}
+		}
+		for _, netName := range cs.Nets {
+			if err := epA.BindNet(cl.Subsystems[cs.A].Net(netName), netName); err != nil {
+				return nil, err
+			}
+			if err := epB.BindNet(cl.Subsystems[cs.B].Net(netName), netName); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, n := range cl.nodeSet {
+		n.FinishAgents()
+	}
+	for name, hosted := range cl.Subsystems {
+		cl.Agents[name] = cl.Nodes[name].Hosted(name).Agent
+		cl.Engines[name] = detail.NewEngine(hosted)
+	}
+	return cl, nil
+}
+
+// Run executes the cluster's subsystems, iterating rounds until
+// quiescent like Simulation.Run; TCP flushing is awaited with a
+// small backoff.
+func (cl *Cluster) Run(until Time) error {
+	return cl.Simulation.runRounds(until, func() { time.Sleep(200 * time.Microsecond) })
+}
+
+// Close tears down the cluster: channels, subsystems, nodes.
+func (cl *Cluster) Close() error {
+	err := cl.Simulation.Close()
+	for _, n := range cl.nodeSet {
+		if cerr := n.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

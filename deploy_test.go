@@ -1,0 +1,66 @@
+package pia
+
+import (
+	"testing"
+)
+
+func TestBuildOnNodesTwoNodes(t *testing.T) {
+	src := &pingState{N: 5}
+	dst := &pongState{}
+	b := NewSystem("cluster").
+		AddComponent("src", "ssA", src, "out").
+		AddComponent("dst", "ssB", dst, "in").
+		AddNet("wire", 0, "src.out", "dst.in").
+		SetDefaultChannel(Conservative, LinkModel{Latency: Microseconds(50), PerMessage: Microseconds(10)})
+	n1, n2 := NewNode("node1"), NewNode("node2")
+	cl, err := b.BuildOnNodes(map[string]*Node{"ssA": n1, "ssB": n2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Run(Time(Seconds(1))); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Got) != 5 {
+		t.Fatalf("delivered %v over the cluster", dst.Got)
+	}
+	for i, v := range dst.Got {
+		if v != i {
+			t.Fatalf("order broken: %v", dst.Got)
+		}
+	}
+}
+
+func TestBuildOnNodesColocated(t *testing.T) {
+	// Two subsystems on ONE node use an in-process pipe.
+	src := &pingState{N: 3}
+	dst := &pongState{}
+	b := NewSystem("colo").
+		AddComponent("src", "ssA", src, "out").
+		AddComponent("dst", "ssB", dst, "in").
+		AddNet("wire", 0, "src.out", "dst.in").
+		SetDefaultChannel(Conservative, LinkModel{Latency: Microseconds(1), PerMessage: 100})
+	n := NewNode("solo")
+	cl, err := b.BuildOnNodes(map[string]*Node{"ssA": n, "ssB": n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Run(Time(Seconds(1))); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Got) != 3 {
+		t.Fatalf("delivered %v", dst.Got)
+	}
+}
+
+func TestBuildOnNodesMissingPlacement(t *testing.T) {
+	b := NewSystem("miss").
+		AddComponent("a", "s1", &pingState{N: 1}, "out").
+		AddComponent("b", "s2", &pongState{}, "in").
+		AddNet("w", 0, "a.out", "b.in")
+	n := NewNode("n")
+	if _, err := b.BuildOnNodes(map[string]*Node{"s1": n}); err == nil {
+		t.Fatal("incomplete placement accepted")
+	}
+}

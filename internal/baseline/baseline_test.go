@@ -1,0 +1,55 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/wubbleu"
+)
+
+func TestLoad(t *testing.T) {
+	store, err := wubbleu.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := Load(addr, wubbleu.DefaultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != wubbleu.DefaultPageSize {
+		t.Fatalf("fetched %d bytes, want %d", res.Bytes, wubbleu.DefaultPageSize)
+	}
+	if res.Images != wubbleu.DefaultImageCount {
+		t.Fatalf("images = %d", res.Images)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("non-positive elapsed time")
+	}
+}
+
+func TestLoadMissingPageFails(t *testing.T) {
+	store, err := wubbleu.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// A missing page comes back as an empty body, which fails the
+	// parse.
+	if _, err := Load(addr, "http://nowhere/"); err == nil {
+		t.Fatal("missing page parsed successfully")
+	}
+}
+
+func TestLoadDialError(t *testing.T) {
+	if _, err := Load("127.0.0.1:1", "x"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

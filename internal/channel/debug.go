@@ -1,0 +1,21 @@
+package channel
+
+import "fmt"
+
+// DebugHook, when set, receives every message an endpoint processes
+// and every grant push (test instrumentation).
+var DebugHook func(string)
+
+func dbg(format string, args ...any) {
+	if DebugHook != nil {
+		DebugHook(fmt.Sprintf(format, args...))
+	}
+}
+
+// DebugState dumps an endpoint's protocol state for diagnostics.
+func (ep *Endpoint) DebugState() string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return fmt.Sprintf("%s grants=%v bound=%v lastAsk=%v lastAskData=%d pendingAsk=%v lastSent=%v unacked=%d seqOut=%d seqIn=%d stats=%+v",
+		ep.Name(), ep.grants, ep.boundLocked(), ep.lastAsk, ep.lastAskData, ep.pendingAsk, ep.lastSent, len(ep.unacked), ep.seqOut, ep.seqInNext, ep.stats)
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/vtime"
+)
+
+// Image is one component's saved state inside a checkpoint set.
+type Image struct {
+	Component string
+	LocalTime vtime.Time
+	Runlevel  string
+	Live      bool // goroutine was alive (Run had not returned)
+	EOF       bool // Recv had already been told the simulation ended
+
+	// State is the behaviour state from StateSaver.SaveState; nil for
+	// components whose behaviour is not checkpointable (only legal
+	// when the component was already done).
+	State []byte
+	// Shared reports that State is byte-identical to the previous
+	// checkpoint's image and was not re-stored (incremental mode).
+	Shared bool
+
+	// Inbox is the component's undelivered messages at capture time.
+	Inbox []event.Event
+
+	// MemData is the component's synchronous-memory contents, nil if
+	// the component uses no memory model.
+	MemData map[uint32]uint64
+}
+
+type netImage struct {
+	value  any
+	time   vtime.Time
+	source string
+}
+
+// CheckpointSet is a consistent image of an entire subsystem: every
+// component's state, local time and undelivered messages, plus net
+// values, all captured at one scheduler step. Because every component
+// is parked when the scheduler captures, the set is a consistent cut:
+// no message can cross it, which is how this implementation realizes
+// Pia's rule that each component saves before receiving any message
+// that follows a checkpoint request (the domino-effect guard).
+type CheckpointSet struct {
+	ID   uint64
+	Tag  string // Chandy-Lamport snapshot id, "" for local checkpoints
+	Time vtime.Time
+
+	images map[string]*Image
+	nets   map[string]netImage
+}
+
+// Image returns the named component's image, or nil.
+func (cs *CheckpointSet) Image(comp string) *Image { return cs.images[comp] }
+
+// Components returns the number of component images in the set.
+func (cs *CheckpointSet) Components() int { return len(cs.images) }
+
+// Bytes reports the storage the set holds, counting shared
+// (incrementally deduplicated) states once as zero.
+func (cs *CheckpointSet) Bytes() int {
+	n := 0
+	for _, img := range cs.images {
+		if !img.Shared {
+			n += len(img.State)
+		}
+		n += len(img.Inbox) * 64 // rough event bookkeeping
+		n += len(img.MemData) * 12
+	}
+	return n
+}
+
+// RequestCheckpoint schedules a checkpoint; the scheduler captures it
+// at its next step, when every component is parked. A non-empty tag
+// names a distributed (Chandy-Lamport) snapshot: a subsystem performs
+// the local checkpoint only once per tag, so duplicate marks are
+// ignored. Safe from any goroutine.
+func (s *Subsystem) RequestCheckpoint(tag string) {
+	s.mu.Lock()
+	s.ckptTags = append(s.ckptTags, tag)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SetCheckpointRetention sets how many checkpoint sets are kept
+// (oldest dropped first). The default is 8.
+func (s *Subsystem) SetCheckpointRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.ckptKeep = n
+}
+
+// SetIncrementalCheckpoints toggles incremental mode: component
+// states identical to the previous checkpoint are shared rather than
+// re-stored. This is the paper's planned "incremental rather than
+// total checkpoints" extension.
+func (s *Subsystem) SetIncrementalCheckpoints(on bool) { s.ckptIncr = on }
+
+// SetAutoCheckpoint makes the scheduler capture a checkpoint whenever
+// virtual time has advanced by at least d since the last automatic
+// one. Zero disables. Required for optimistic channels and for
+// optimistic interrupt handling, which must be able to rewind.
+func (s *Subsystem) SetAutoCheckpoint(d vtime.Duration) { s.autoCkpt = d }
+
+// Checkpoints returns the retained checkpoint sets, oldest first.
+func (s *Subsystem) Checkpoints() []*CheckpointSet {
+	out := make([]*CheckpointSet, len(s.checkpoints))
+	copy(out, s.checkpoints)
+	return out
+}
+
+// LatestCheckpoint returns the most recent checkpoint, or nil.
+func (s *Subsystem) LatestCheckpoint() *CheckpointSet {
+	if len(s.checkpoints) == 0 {
+		return nil
+	}
+	return s.checkpoints[len(s.checkpoints)-1]
+}
+
+// CaptureNow captures a checkpoint immediately. Only legal when the
+// subsystem is not running (between Run calls) or from scheduler
+// hooks; the scheduler itself uses it to honour RequestCheckpoint.
+func (s *Subsystem) CaptureNow(tag string) (*CheckpointSet, error) {
+	return s.capture(tag)
+}
+
+func (s *Subsystem) capture(tag string) (*CheckpointSet, error) {
+	if tag != "" {
+		if s.doneTags == nil {
+			s.doneTags = make(map[string]bool)
+		}
+		if s.doneTags[tag] {
+			return nil, nil // already checkpointed for this snapshot id
+		}
+		s.doneTags[tag] = true
+	}
+	s.ckptNextID++
+	cs := &CheckpointSet{
+		ID:     s.ckptNextID,
+		Tag:    tag,
+		Time:   s.now,
+		images: make(map[string]*Image, len(s.order)),
+		nets:   make(map[string]netImage, len(s.nets)),
+	}
+	var prev *CheckpointSet
+	if s.ckptIncr && len(s.checkpoints) > 0 {
+		prev = s.checkpoints[len(s.checkpoints)-1]
+	}
+	for _, c := range s.order {
+		img := &Image{
+			Component: c.name,
+			LocalTime: c.localTime,
+			Runlevel:  c.runlevel,
+			Live:      c.status != statusDone,
+			EOF:       c.eofSignaled,
+		}
+		if sv := c.saver(); sv != nil {
+			st, err := sv.SaveState()
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint of %s: %w", c.name, err)
+			}
+			img.State = st
+			if prev != nil {
+				if p := prev.images[c.name]; p != nil && bytes.Equal(p.State, st) {
+					img.State = p.State
+					img.Shared = true
+				}
+			}
+		} else if img.Live {
+			return nil, fmt.Errorf("core: checkpoint of %s: %w", c.name, ErrNotCheckpointable)
+		}
+		for _, e := range c.inbox.Snapshot() {
+			img.Inbox = append(img.Inbox, *e)
+		}
+		if c.memory != nil {
+			img.MemData = c.memory.snapshotData()
+		}
+		cs.images[c.name] = img
+	}
+	for name, n := range s.nets {
+		cs.nets[name] = netImage{value: n.lastValue, time: n.lastTime, source: n.lastSource}
+	}
+	s.checkpoints = append(s.checkpoints, cs)
+	if len(s.checkpoints) > s.ckptKeep {
+		drop := len(s.checkpoints) - s.ckptKeep
+		s.checkpoints = append([]*CheckpointSet(nil), s.checkpoints[drop:]...)
+	}
+	s.stats.Checkpoints++
+	s.tracef("checkpoint #%d tag=%q @%v", cs.ID, tag, cs.Time)
+	if s.OnCheckpoint != nil {
+		s.OnCheckpoint(cs)
+	}
+	return cs, nil
+}
+
+// restoreBefore restores the latest checkpoint with Time <= t.
+func (s *Subsystem) restoreBefore(t vtime.Time) error {
+	var target *CheckpointSet
+	for i := len(s.checkpoints) - 1; i >= 0; i-- {
+		if s.checkpoints[i].Time <= t {
+			target = s.checkpoints[i]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("%w (requested <= %v)", ErrNoCheckpoint, t)
+	}
+	return s.RestoreCheckpoint(target)
+}
+
+// restoreComponentBefore restores the latest checkpoint in which the
+// named component's local time is <= t.
+func (s *Subsystem) restoreComponentBefore(comp string, t vtime.Time) error {
+	var target *CheckpointSet
+	for i := len(s.checkpoints) - 1; i >= 0; i-- {
+		if img := s.checkpoints[i].Image(comp); img != nil && img.LocalTime <= t {
+			target = s.checkpoints[i]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("%w (component %s <= %v)", ErrNoCheckpoint, comp, t)
+	}
+	return s.RestoreCheckpoint(target)
+}
+
+// RestoreCheckpoint rewinds the whole subsystem to the given
+// checkpoint set: component goroutines are unwound, behaviour states
+// restored, inboxes and net values reset, and virtual time set back
+// to the capture time. Checkpoints from the discarded future are
+// dropped. Legal on the scheduler goroutine or between runs.
+func (s *Subsystem) RestoreCheckpoint(cs *CheckpointSet) error {
+	for _, c := range s.order {
+		if cs.images[c.name] == nil {
+			return fmt.Errorf("core: checkpoint #%d has no image for %s", cs.ID, c.name)
+		}
+	}
+	for _, c := range s.order {
+		s.kill(c)
+	}
+	for _, c := range s.order {
+		img := cs.images[c.name]
+		if sv := c.saver(); sv != nil && img.State != nil {
+			if err := sv.RestoreState(img.State); err != nil {
+				return fmt.Errorf("core: restore of %s: %w", c.name, err)
+			}
+		}
+		c.localTime = img.LocalTime
+		c.runlevel = img.Runlevel
+		c.eofSignaled = img.EOF
+		c.err = nil
+		c.inbox.Reset()
+		for i := range img.Inbox {
+			e := img.Inbox[i] // copy
+			c.inbox.PushStamped(&e)
+		}
+		if img.Live {
+			c.status = statusNew
+			c.token = make(chan tokenMsg)
+		} else {
+			c.status = statusDone
+		}
+		c.recvPorts = nil
+		c.recvDeadline = vtime.Infinity
+		if c.memory != nil {
+			c.memory.restoreData(img.MemData)
+		}
+	}
+	for name, n := range s.nets {
+		if ni, ok := cs.nets[name]; ok {
+			n.lastValue, n.lastTime, n.lastSource = ni.value, ni.time, ni.source
+		}
+	}
+	s.now = cs.Time
+	// Automatic checkpointing resumes from the restored point: the
+	// replay timeline needs its own cuts, or a second rollback could
+	// land before messages redelivered in the first replay and lose
+	// them (their channel messages are consumed and will not come
+	// again).
+	s.lastAuto = cs.Time
+	// Drop checkpoints from the abandoned future.
+	kept := s.checkpoints[:0]
+	for _, old := range s.checkpoints {
+		if old.ID <= cs.ID {
+			kept = append(kept, old)
+		}
+	}
+	s.checkpoints = kept
+	s.fatal = nil
+	s.stats.Restores++
+	s.tracef("restored checkpoint #%d @%v", cs.ID, cs.Time)
+	if s.OnRestore != nil {
+		s.OnRestore(cs)
+	}
+	return nil
+}

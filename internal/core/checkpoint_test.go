@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestCheckpointAndRestore(t *testing.T) {
+	s, pr, co := buildPipe(t, 0, 10, 10)
+	// Capture a checkpoint mid-run via a switch hook.
+	var captured *CheckpointSet
+	s.OnStep = func(now vtime.Time) {
+		if now >= 50 && captured == nil {
+			s.RequestCheckpoint("")
+		}
+	}
+	s.OnCheckpoint = func(cs *CheckpointSet) { captured = cs }
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("checkpoint never captured")
+	}
+	if len(co.Got) != 10 {
+		t.Fatalf("first run delivered %d, want 10", len(co.Got))
+	}
+	gotAtCkpt := captured.Image("cons")
+	if gotAtCkpt == nil {
+		t.Fatal("no image for cons")
+	}
+
+	// Rewind and re-run: the tail must replay identically.
+	if err := s.RestoreCheckpoint(captured); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != captured.Time {
+		t.Fatalf("after restore Now = %v, want %v", s.Now(), captured.Time)
+	}
+	if len(co.Got) >= 10 {
+		t.Fatalf("restore did not rewind consumer state: %d values", len(co.Got))
+	}
+	if pr.Next >= 10 {
+		t.Fatal("restore did not rewind producer state")
+	}
+	s.OnStep = nil
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Got) != 10 {
+		t.Fatalf("replay delivered %d, want 10", len(co.Got))
+	}
+	for i, v := range co.Got {
+		if v != i {
+			t.Fatalf("replayed value %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestRollbackRequestDuringRun(t *testing.T) {
+	// An in-run rollback request rewinds and re-executes
+	// deterministically.
+	s, _, co := buildPipe(t, 0, 8, 10)
+	s.SetAutoCheckpoint(20)
+	rolled := false
+	s.OnStep = func(now vtime.Time) {
+		if now >= 60 && !rolled {
+			rolled = true
+			s.RequestRollback(30)
+		}
+	}
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if !rolled {
+		t.Fatal("rollback never triggered")
+	}
+	if st := s.Stats(); st.Restores != 1 {
+		t.Fatalf("restores = %d, want 1", st.Restores)
+	}
+	if len(co.Got) != 8 {
+		t.Fatalf("final deliveries = %d, want 8", len(co.Got))
+	}
+	for i, v := range co.Got {
+		if v != i {
+			t.Fatalf("value %d = %d after rollback replay", i, v)
+		}
+	}
+}
+
+func TestRollbackWithoutCheckpointFails(t *testing.T) {
+	s, _, _ := buildPipe(t, 0, 3, 10)
+	s.OnStep = func(now vtime.Time) {
+		if now >= 20 {
+			s.RequestRollback(10)
+		}
+	}
+	err := s.Run(vtime.Infinity)
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	s.Teardown()
+}
+
+func TestCheckpointRetention(t *testing.T) {
+	s, _, _ := buildPipe(t, 0, 30, 10)
+	s.SetCheckpointRetention(3)
+	s.SetAutoCheckpoint(10)
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Checkpoints()); got != 3 {
+		t.Fatalf("retained %d checkpoints, want 3", got)
+	}
+	cks := s.Checkpoints()
+	for i := 1; i < len(cks); i++ {
+		if cks[i].ID <= cks[i-1].ID {
+			t.Fatal("checkpoints out of order")
+		}
+	}
+	if s.LatestCheckpoint() != cks[len(cks)-1] {
+		t.Fatal("LatestCheckpoint mismatch")
+	}
+}
+
+func TestCheckpointTagOncePerID(t *testing.T) {
+	s, _, _ := buildPipe(t, 0, 5, 10)
+	count := 0
+	s.OnCheckpoint = func(*CheckpointSet) { count++ }
+	s.RequestCheckpoint("snap-1")
+	s.RequestCheckpoint("snap-1") // duplicate mark, must be ignored
+	s.RequestCheckpoint("snap-2")
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("captured %d tagged checkpoints, want 2", count)
+	}
+}
+
+func TestNotCheckpointable(t *testing.T) {
+	s := NewSubsystem("nock")
+	// BehaviorFunc has no StateSaver.
+	s.NewComponent("plain", BehaviorFunc(func(p *Proc) error {
+		for {
+			if _, ok := p.Recv(); !ok {
+				return nil
+			}
+		}
+	}))
+	s.RequestCheckpoint("")
+	err := s.Run(vtime.Infinity)
+	if !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("err = %v, want ErrNotCheckpointable", err)
+	}
+	s.Teardown()
+}
+
+func TestIncrementalCheckpointsShareState(t *testing.T) {
+	// A consumer that never hears anything keeps identical state, so
+	// incremental mode must share it between checkpoints.
+	s := NewSubsystem("incr")
+	co := &consumer{}
+	cc, _ := s.NewComponent("cons", co)
+	cc.AddPort("in")
+	n, _ := s.NewNet("quiet", 0)
+	s.Connect(n, cc.Port("in"))
+	ticker := &producer{Count: 10, Period: 10}
+	tc, _ := s.NewComponent("tick", ticker)
+	tc.AddPort("out")
+	n2, _ := s.NewNet("void", 0)
+	s.Connect(n2, tc.Port("out"))
+	s.SetIncrementalCheckpoints(true)
+	s.SetAutoCheckpoint(10)
+	s.SetCheckpointRetention(100)
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	cks := s.Checkpoints()
+	if len(cks) < 3 {
+		t.Fatalf("only %d checkpoints", len(cks))
+	}
+	shared := 0
+	for _, cs := range cks[1:] {
+		img := cs.Image("cons")
+		if img.Shared {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("incremental mode never shared an unchanged state")
+	}
+	// Bytes must count shared states as free.
+	if cks[1].Bytes() >= cks[0].Bytes() {
+		t.Fatalf("incremental checkpoint not smaller: %d vs %d", cks[1].Bytes(), cks[0].Bytes())
+	}
+}
+
+func TestRestoreDropsFutureCheckpoints(t *testing.T) {
+	s, _, _ := buildPipe(t, 0, 10, 10)
+	s.SetAutoCheckpoint(25)
+	s.SetCheckpointRetention(100)
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	cks := s.Checkpoints()
+	if len(cks) < 3 {
+		t.Fatalf("need >=3 checkpoints, have %d", len(cks))
+	}
+	target := cks[0]
+	if err := s.RestoreCheckpoint(target); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Checkpoints()
+	if len(after) != 1 || after[0] != target {
+		t.Fatalf("future checkpoints not dropped: %d remain", len(after))
+	}
+	// Run to completion again after restore.
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointInboxPreserved(t *testing.T) {
+	// Checkpoint while a message is in flight (sent, undelivered);
+	// restore must re-deliver it exactly once.
+	s := NewSubsystem("inflight")
+	co := &consumer{}
+	cc, _ := s.NewComponent("cons", co)
+	cc.AddPort("in")
+	// Producer sends at t=5 with delivery at t=105 (big net delay).
+	pr := &producer{Count: 1, Period: 5}
+	pc, _ := s.NewComponent("prod", pr)
+	pc.AddPort("out")
+	n, _ := s.NewNet("slow", 100)
+	s.Connect(n, pc.Port("out"), cc.Port("in"))
+	var cs *CheckpointSet
+	s.OnStep = func(now vtime.Time) {
+		if now >= 5 && cs == nil {
+			s.RequestCheckpoint("")
+		}
+	}
+	s.OnCheckpoint = func(c *CheckpointSet) { cs = c }
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Got) != 1 {
+		t.Fatalf("first run: %d deliveries", len(co.Got))
+	}
+	img := cs.Image("cons")
+	if len(img.Inbox) != 1 {
+		t.Fatalf("checkpoint inbox has %d events, want 1 in-flight", len(img.Inbox))
+	}
+	s.OnStep = nil
+	if err := s.RestoreCheckpoint(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Got) != 1 || co.Times[0] != 105 {
+		t.Fatalf("replay: got %v at %v", co.Got, co.Times)
+	}
+}
+
+func TestImageAccessors(t *testing.T) {
+	s, _, _ := buildPipe(t, 0, 2, 5)
+	cs, err := s.CaptureNow("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Components() != 2 {
+		t.Fatalf("Components = %d, want 2", cs.Components())
+	}
+	if cs.Image("nope") != nil {
+		t.Fatal("Image for unknown component should be nil")
+	}
+	if cs.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive")
+	}
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreOfDoneComponentStaysDone(t *testing.T) {
+	s := NewSubsystem("donedone")
+	pr := &producer{Count: 1, Period: 5}
+	pc, _ := s.NewComponent("prod", pr)
+	pc.AddPort("out")
+	co := &consumer{}
+	cc, _ := s.NewComponent("cons", co)
+	cc.AddPort("in")
+	n, _ := s.NewNet("w", 0)
+	s.Connect(n, pc.Port("out"), cc.Port("in"))
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := s.CaptureNow("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := cs.Image("prod").Live; live {
+		t.Fatal("prod should be captured as done")
+	}
+	if err := s.RestoreCheckpoint(cs); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Component("prod").Done() {
+		t.Fatal("done component resurrected by restore")
+	}
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Got) != 1 {
+		t.Fatalf("deliveries after no-op restore = %d", len(co.Got))
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/vtime"
+)
+
+// Behavior is the functionality contained in a component: the actual
+// (embedded) software or a model of the hardware. Run is executed on
+// the component's goroutine under cooperative scheduling; all
+// interaction with the rest of the system goes through the Proc.
+//
+// Run returns when the component is finished; returning a non-nil
+// error aborts the whole subsystem run. If the behaviour also
+// implements StateSaver, Run may be re-entered after a rollback with
+// the behaviour's state restored, so it must be written to resume
+// from its state (reactive receive loops are naturally resumable).
+type Behavior interface {
+	Run(p *Proc) error
+}
+
+// BehaviorFunc adapts a plain function to the Behavior interface.
+type BehaviorFunc func(p *Proc) error
+
+// Run implements Behavior.
+func (f BehaviorFunc) Run(p *Proc) error { return f(p) }
+
+// StateSaver is implemented by behaviours that support checkpoint and
+// restore. SaveState must capture everything Run needs to resume;
+// RestoreState must leave the behaviour exactly as it was when the
+// image was saved. Both are called while the component is parked, so
+// they never race with Run.
+type StateSaver interface {
+	SaveState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// status is a component's scheduling state.
+type status uint8
+
+const (
+	statusNew      status = iota // goroutine not started yet
+	statusRunnable               // has the right to run when its local time is minimal
+	statusRecv                   // parked in Recv waiting for a message
+	statusRunning                // currently holds the run token
+	statusDone                   // Run returned
+)
+
+func (s status) String() string {
+	switch s {
+	case statusNew:
+		return "new"
+	case statusRunnable:
+		return "runnable"
+	case statusRecv:
+		return "recv"
+	case statusRunning:
+		return "running"
+	case statusDone:
+		return "done"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Component is a container for some basic functionality — an embedded
+// processor running a program, an ASIC, an FPGA. All fields are owned
+// by the subsystem scheduler except where noted.
+type Component struct {
+	name string
+	sub  *Subsystem
+
+	behavior Behavior
+	ports    map[string]*Port
+	ifaces   map[string]*Interface
+
+	localTime vtime.Time
+	status    status
+	inbox     event.Queue // undelivered messages for this component
+
+	// recvPorts is the port filter of the Recv the component is
+	// parked in (nil = any port); recvDeadline bounds the wait.
+	recvPorts    map[string]bool
+	recvDeadline vtime.Time
+
+	runlevel string
+
+	// cooperative-scheduling handshake
+	token chan tokenMsg
+
+	memory *Memory // nil unless the component uses synchronous memory
+
+	// interrupt handling (set via Proc.SetInterruptHandler)
+	irqPort string
+	irqFn   func(*Proc, Msg)
+
+	proc *Proc
+
+	eofSignaled bool // Recv already told "simulation over" once
+
+	err error // terminal error from Run
+}
+
+// tokenMsg is what the scheduler hands a parked component.
+type tokenMsg struct {
+	kill bool // unwind the goroutine (rollback/shutdown)
+	msg  *Msg // delivered message when resuming from Recv
+	ok   bool // false: Recv should report end-of-simulation/timeout
+}
+
+// killPanic unwinds a component goroutine on rollback or shutdown.
+type killPanic struct{ comp string }
+
+// Name returns the component's name.
+func (c *Component) Name() string { return c.name }
+
+// LocalTime returns the component's local virtual time. Safe to call
+// from the scheduler or between runs; racing it against a live run is
+// a caller bug.
+func (c *Component) LocalTime() vtime.Time { return c.localTime }
+
+// Runlevel returns the component's current detail level.
+func (c *Component) Runlevel() string { return c.runlevel }
+
+// SetRunlevel changes the component's detail level. It is applied by
+// the scheduler at the component's next safe point; calling it while
+// the subsystem is between runs applies immediately.
+func (c *Component) SetRunlevel(level string) { c.runlevel = level }
+
+// Port returns the named port, or nil.
+func (c *Component) Port(name string) *Port { return c.ports[name] }
+
+// Ports returns the component's port names in creation order is not
+// guaranteed; use for diagnostics.
+func (c *Component) Ports() []*Port {
+	out := make([]*Port, 0, len(c.ports))
+	for _, p := range c.ports {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Behavior returns the component's behaviour instance.
+func (c *Component) Behavior() Behavior { return c.behavior }
+
+// Memory returns the component's synchronous-memory model, creating
+// it on first use.
+func (c *Component) Memory() *Memory {
+	if c.memory == nil {
+		c.memory = newMemory(c)
+	}
+	return c.memory
+}
+
+// Err returns the terminal error from the component's Run, if any.
+func (c *Component) Err() error { return c.err }
+
+// Done reports whether the component's Run has returned.
+func (c *Component) Done() bool { return c.status == statusDone }
+
+// key returns the component's scheduling key: the earliest virtual
+// time at which it could next act, or Infinity if it cannot act
+// without outside input.
+func (c *Component) key() vtime.Time {
+	switch c.status {
+	case statusNew, statusRunnable:
+		return c.localTime
+	case statusRecv:
+		k := vtime.Infinity
+		if e := c.nextDeliverable(); e != nil {
+			k = vtime.Max(e.Time, c.localTime)
+		}
+		if c.recvDeadline < k {
+			k = vtime.Max(c.recvDeadline, c.localTime)
+		}
+		return k
+	default:
+		return vtime.Infinity
+	}
+}
+
+// nextDeliverable returns the earliest inbox event matching the
+// component's current receive filter, or nil.
+func (c *Component) nextDeliverable() *event.Event {
+	head := c.inbox.Peek()
+	if c.recvPorts == nil || head == nil || c.recvPorts[head.Port] {
+		// No filter, empty inbox, or the head already matches — the
+		// overwhelmingly common cases, all O(1).
+		return head
+	}
+	// Filtered receive with a non-matching head: scan a snapshot.
+	for _, e := range c.inbox.Snapshot() {
+		if c.recvPorts[e.Port] {
+			return e
+		}
+	}
+	return nil
+}
+
+// popDeliverable removes and returns the event nextDeliverable would
+// return.
+func (c *Component) popDeliverable() *event.Event {
+	if head := c.inbox.Peek(); head != nil && (c.recvPorts == nil || c.recvPorts[head.Port]) {
+		return c.inbox.Pop()
+	}
+	if c.recvPorts == nil {
+		return c.inbox.Pop()
+	}
+	want := c.nextDeliverable()
+	if want == nil {
+		return nil
+	}
+	// Rebuild the inbox without that event.
+	var rest []*event.Event
+	for {
+		e := c.inbox.Pop()
+		if e == nil {
+			break
+		}
+		if e == want {
+			continue
+		}
+		rest = append(rest, e)
+	}
+	for _, e := range rest {
+		c.inbox.PushStamped(e)
+	}
+	return want
+}
+
+// minTime reports the earliest timestamp in the component's inbox
+// (ignoring any receive filter), or Infinity.
+func (c *Component) inboxNextTime() vtime.Time { return c.inbox.NextTime() }
+
+// saver returns the behaviour's StateSaver, or nil.
+func (c *Component) saver() StateSaver {
+	s, _ := c.behavior.(StateSaver)
+	return s
+}
+
+// String implements fmt.Stringer.
+func (c *Component) String() string {
+	return fmt.Sprintf("component(%s, t=%v, %s)", c.name, c.localTime, c.status)
+}

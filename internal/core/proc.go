@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/vtime"
+)
+
+// Proc is the execution context handed to a component's Run. All of a
+// component's interaction with virtual time and the rest of the
+// system goes through it. A Proc is only valid on the component's own
+// goroutine.
+type Proc struct {
+	c *Component
+}
+
+// Time returns the component's local virtual time.
+func (p *Proc) Time() vtime.Time { return p.c.localTime }
+
+// SubsystemTime returns the subsystem's current virtual time. It is
+// always <= Time().
+func (p *Proc) SubsystemTime() vtime.Time { return p.c.sub.now }
+
+// Name returns the component's name.
+func (p *Proc) Name() string { return p.c.name }
+
+// Runlevel returns the component's current detail level. Behaviours
+// consult it to choose between communication methods.
+func (p *Proc) Runlevel() string { return p.c.runlevel }
+
+// SetRunlevel imperatively switches this component's detail level, as
+// Pia allows from statements in the source code. The current point in
+// the behaviour is by definition a safe point for the caller.
+func (p *Proc) SetRunlevel(level string) {
+	p.c.runlevel = level
+	p.c.sub.noteRunlevel(p.c, level)
+}
+
+// Advance moves the component's local time forward by d without
+// yielding the processor. Basic-block timing annotations compile to
+// Advance calls: the simulator updates the component's version of
+// virtual time whenever it encounters an embedded timing estimate.
+func (p *Proc) Advance(d vtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("core: %s advanced time backwards (%v)", p.c.name, d))
+	}
+	p.c.localTime = p.c.localTime.Add(d)
+}
+
+// Delay advances local time by d and yields, letting components with
+// earlier local times run. Equivalent to Advance followed by Yield.
+func (p *Proc) Delay(d vtime.Duration) {
+	p.Advance(d)
+	p.Yield()
+}
+
+// DelayUntil advances local time to t — a no-op when t has already
+// passed — and yields. Checkpointable process-style behaviours should
+// pace themselves with DelayUntil against times derived from their
+// saved state rather than with relative Delay calls: a component
+// restored from a checkpoint re-enters Run from the top, and a
+// relative delay taken before the capture would otherwise be charged
+// again, shifting its timeline.
+func (p *Proc) DelayUntil(t vtime.Time) {
+	if t > p.c.localTime {
+		p.Advance(t.Sub(p.c.localTime))
+	}
+	p.Yield()
+}
+
+// Yield releases the processor; the scheduler will resume this
+// component when its local time is again the minimum. Yield is a safe
+// point: pending checkpoint requests and runlevel switches for this
+// component are applied while it is parked here.
+func (p *Proc) Yield() {
+	c := p.c
+	c.status = statusRunnable
+	tok := c.sub.yield(c)
+	if tok.kill {
+		panic(killPanic{c.name})
+	}
+}
+
+// Sync blocks until subsystem time has caught up with the component's
+// local time — the synchronization Pia requires before a component
+// may observe shared state. On return every message with an earlier
+// timestamp has been delivered or is already in this component's
+// inbox.
+func (p *Proc) Sync() { p.Yield() }
+
+// Send drives value v onto the net attached to the named port,
+// stamped with the component's current local time. Delivery to each
+// listening port happens after the net's propagation delay. Send does
+// not yield.
+func (p *Proc) Send(port string, v any) {
+	c := p.c
+	pt := c.ports[port]
+	if pt == nil {
+		panic(fmt.Sprintf("core: %s has no port %q", c.name, port))
+	}
+	if pt.net == nil {
+		panic(fmt.Sprintf("core: port %s.%s is not attached to a net", c.name, port))
+	}
+	c.sub.drive(pt.net, c.name, c.localTime, v)
+}
+
+// SendAt is Send with an explicit future timestamp (>= local time).
+// Protocol models use it to schedule the completion of a transfer
+// without blocking.
+func (p *Proc) SendAt(port string, v any, t vtime.Time) {
+	if t < p.c.localTime {
+		panic(fmt.Sprintf("core: %s SendAt into its own past (%v < %v)", p.c.name, t, p.c.localTime))
+	}
+	c := p.c
+	pt := c.ports[port]
+	if pt == nil {
+		panic(fmt.Sprintf("core: %s has no port %q", c.name, port))
+	}
+	if pt.net == nil {
+		panic(fmt.Sprintf("core: port %s.%s is not attached to a net", c.name, port))
+	}
+	c.sub.drive(pt.net, c.name, t, v)
+}
+
+// Recv blocks until a message arrives on one of the named ports (any
+// port when none are named). The component's local time advances to
+// the delivery time, which is never earlier than it was. Recv returns
+// ok=false when the simulation has ended (no component can ever send
+// again) or the run was stopped.
+func (p *Proc) Recv(ports ...string) (Msg, bool) {
+	return p.recv(vtime.Infinity, ports)
+}
+
+// RecvDeadline is Recv bounded by an absolute virtual-time deadline.
+// If no message arrives by then, it returns ok=false with local time
+// advanced to the deadline (a poll that found nothing).
+func (p *Proc) RecvDeadline(deadline vtime.Time, ports ...string) (Msg, bool) {
+	return p.recv(deadline, ports)
+}
+
+func (p *Proc) recv(deadline vtime.Time, ports []string) (Msg, bool) {
+	c := p.c
+	if len(ports) > 0 {
+		c.recvPorts = make(map[string]bool, len(ports))
+		for _, name := range ports {
+			if c.ports[name] == nil {
+				panic(fmt.Sprintf("core: %s has no port %q", c.name, name))
+			}
+			c.recvPorts[name] = true
+		}
+	} else {
+		c.recvPorts = nil
+	}
+	c.recvDeadline = deadline
+	c.status = statusRecv
+	tok := c.sub.yield(c)
+	c.recvPorts = nil
+	c.recvDeadline = vtime.Infinity
+	if tok.kill {
+		panic(killPanic{c.name})
+	}
+	if !tok.ok || tok.msg == nil {
+		return Msg{Time: c.localTime}, false
+	}
+	return *tok.msg, true
+}
+
+// Pending reports whether a message is already waiting for the
+// component (subject to no port filter). It does not yield.
+func (p *Proc) Pending() bool { return p.c.inbox.Len() > 0 }
+
+// Checkpoint declares an explicit safe point and, if a checkpoint
+// request is pending for this component, captures its image here.
+func (p *Proc) Checkpoint() { p.Yield() }
+
+// Memory returns the component's synchronous-memory model.
+func (p *Proc) Memory() *Memory { return p.c.Memory() }
+
+// SetInterruptHandler registers fn to handle messages arriving on the
+// named port as interrupts. Pending interrupts are drained — the
+// handler invoked inline on this component's goroutine — at every
+// synchronization point: explicit DrainInterrupts calls and accesses
+// to synchronous memory addresses. Registration happens inside Run,
+// so it is naturally re-established when Run is re-entered after a
+// rollback.
+func (p *Proc) SetInterruptHandler(port string, fn func(*Proc, Msg)) {
+	if p.c.ports[port] == nil {
+		panic(fmt.Sprintf("core: %s has no port %q for interrupts", p.c.name, port))
+	}
+	p.c.irqPort = port
+	p.c.irqFn = fn
+}
+
+// DrainInterrupts synchronizes with subsystem time and delivers every
+// interrupt pending at or before the component's local time to the
+// registered handler. It models the hardware rule that a processor
+// takes pending interrupts before executing the next synchronized
+// access.
+func (p *Proc) DrainInterrupts() {
+	c := p.c
+	if c.irqFn == nil {
+		return
+	}
+	p.Sync()
+	for {
+		m, ok := p.RecvDeadline(p.Time(), c.irqPort)
+		if !ok {
+			return
+		}
+		c.irqFn(p, m)
+	}
+}
+
+// Logf records a trace line through the subsystem's tracer, tagged
+// with the component name and local time.
+func (p *Proc) Logf(format string, args ...any) {
+	p.c.sub.tracef("%s@%v: %s", p.c.name, p.c.localTime, fmt.Sprintf(format, args...))
+}
+
+// msgFromEvent converts a delivered event into the Msg handed to Recv,
+// advancing the component's local time to the delivery time.
+func (c *Component) msgFromEvent(e *event.Event) *Msg {
+	deliver := vtime.Max(e.Time, c.localTime)
+	c.localTime = deliver
+	return &Msg{
+		Time:   deliver,
+		Sent:   e.Time,
+		Port:   e.Port,
+		Net:    e.Net,
+		Value:  e.Value,
+		Source: e.Source,
+	}
+}

@@ -1,0 +1,914 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+	"repro/internal/vtime"
+)
+
+// Errors reported by the subsystem scheduler.
+var (
+	// ErrStopped is returned by Run when Stop was called.
+	ErrStopped = errors.New("core: run stopped")
+	// ErrNoCheckpoint is reported when a rollback finds no
+	// checkpoint at or before the requested time.
+	ErrNoCheckpoint = errors.New("core: no checkpoint at or before requested time")
+	// ErrNotCheckpointable is reported when a checkpoint is requested
+	// and a live component's behaviour does not implement StateSaver.
+	ErrNotCheckpointable = errors.New("core: component behaviour does not implement StateSaver")
+)
+
+// GateQuiescer is optionally implemented by gates that hold
+// obligations toward the peer (outstanding safe-time asks). A
+// subsystem finishing a finite-horizon run waits until every such
+// gate reports Quiesced, so the peer is never stranded waiting for a
+// grant that will no longer come.
+type GateQuiescer interface {
+	Quiesced() bool
+}
+
+// Gate is an external constraint on how far the subsystem may advance
+// its virtual time — the scheduler side of a conservative channel.
+// Before executing an action at time t the scheduler checks every
+// gate; if some gate's Bound is below t it calls Request(t) and waits
+// (the gate must call the subsystem's Wake when its bound rises).
+type Gate interface {
+	// Name identifies the gate in traces.
+	Name() string
+	// Bound returns the time up to which the subsystem may currently
+	// advance, exclusive of nothing: advancing to exactly Bound() is
+	// allowed. Must be cheap and safe to call from the scheduler
+	// goroutine.
+	Bound() vtime.Time
+	// Request asks the gate, asynchronously, to raise its bound to at
+	// least t. The gate calls Subsystem.Wake once the bound changes.
+	Request(t vtime.Time)
+}
+
+// injectedItem is one queued external action: either a net drive or
+// a control function (channel ingress processing, snapshot marks).
+// Items are executed on the scheduler goroutine in arrival order.
+type injectedItem struct {
+	// drive fields (fn == nil)
+	net string
+	src string
+	t   vtime.Time
+	v   any
+
+	// fn, when non-nil, is a control action. Returning true means
+	// "retry me": the item is re-queued at the front, typically
+	// because it requested a rollback that must complete first.
+	fn func() bool
+}
+
+// Subsystem is a fragment of the embedded system design under test,
+// together with the scheduler object that enforces the local timing
+// semantics. A Pia node contains one or more subsystems.
+type Subsystem struct {
+	name string
+
+	comps map[string]*Component
+	order []*Component
+	nets  map[string]*Net
+
+	now vtime.Time
+
+	yieldCh chan *Component
+
+	gates    []Gate
+	external int // count of ingress sources that may still inject
+
+	// cross-goroutine state, guarded by mu
+	mu       sync.Mutex
+	cond     *sync.Cond
+	injected []injectedItem
+	stopReq  bool
+	rbTime   vtime.Time // pending rollback-to-before time; Infinity = none
+	rbTag    string     // pending restore-by-snapshot-tag
+	rbComp   string     // pending component-relative rollback: component name
+	rbCompT  vtime.Time // ... and the local time it must rewind to or before
+	wakeGen  uint64
+
+	// published lower bounds, readable from any goroutine
+	pubNow atomic.Int64
+	pubKey atomic.Int64
+
+	// checkpointing
+	ckptTags    []string // pending checkpoint requests (tag per request)
+	doneTags    map[string]bool
+	ckptNextID  uint64
+	checkpoints []*CheckpointSet
+	ckptKeep    int
+	ckptIncr    bool // incremental (dedupe unchanged states)
+	autoCkpt    vtime.Duration
+	lastAuto    vtime.Time
+
+	// hooks
+	Tracer       func(string)                               // optional trace sink
+	OnStep       func(now vtime.Time)                       // called after every scheduling step
+	OnRunlevel   func(comp, level string)                   // called on imperative runlevel switches
+	OnCheckpoint func(cs *CheckpointSet)                    // called when a checkpoint is captured
+	OnRestore    func(cs *CheckpointSet)                    // called after a restore completes
+	OnPublish    func(now, key vtime.Time)                  // called on the scheduler goroutine after each publish
+	OnDrive      func(net, src string, t vtime.Time, v any) // called for every net drive (waveform tracing)
+	OnDepart     func(until vtime.Time)                     // called right before Run returns at a finite horizon
+
+	running bool
+	fatal   error
+
+	stats Stats
+}
+
+// Stats accumulates scheduler counters for benchmarks and reports.
+type Stats struct {
+	Steps       int64 // component resumptions
+	Deliveries  int64 // messages handed to Recv
+	Drives      int64 // net drives
+	Stalls      int64 // times the scheduler waited on a gate or input
+	Checkpoints int64
+	Restores    int64
+	BytesOnNets int64
+}
+
+// NewSubsystem creates an empty subsystem.
+func NewSubsystem(name string) *Subsystem {
+	s := &Subsystem{
+		name:     name,
+		comps:    make(map[string]*Component),
+		nets:     make(map[string]*Net),
+		yieldCh:  make(chan *Component),
+		rbTime:   vtime.Infinity,
+		ckptKeep: 8,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Name returns the subsystem's name.
+func (s *Subsystem) Name() string { return s.name }
+
+// Now returns the subsystem's virtual time. It is always <= the local
+// time of every component in the subsystem.
+func (s *Subsystem) Now() vtime.Time { return s.now }
+
+// Stats returns a copy of the scheduler counters.
+func (s *Subsystem) Stats() Stats { return s.stats }
+
+// Components returns the subsystem's components in creation order.
+func (s *Subsystem) Components() []*Component {
+	out := make([]*Component, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Component returns the named component, or nil.
+func (s *Subsystem) Component(name string) *Component { return s.comps[name] }
+
+// Net returns the named net, or nil.
+func (s *Subsystem) Net(name string) *Net { return s.nets[name] }
+
+// Nets returns all nets (unordered).
+func (s *Subsystem) Nets() []*Net {
+	out := make([]*Net, 0, len(s.nets))
+	for _, n := range s.nets {
+		out = append(out, n)
+	}
+	return out
+}
+
+// NewComponent adds a component with the given behaviour.
+func (s *Subsystem) NewComponent(name string, b Behavior) (*Component, error) {
+	if s.running {
+		return nil, fmt.Errorf("core: cannot add component %q while running", name)
+	}
+	if _, dup := s.comps[name]; dup {
+		return nil, fmt.Errorf("core: duplicate component %q", name)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("core: component %q has nil behaviour", name)
+	}
+	c := &Component{
+		name:         name,
+		sub:          s,
+		behavior:     b,
+		ports:        make(map[string]*Port),
+		ifaces:       make(map[string]*Interface),
+		status:       statusNew,
+		token:        make(chan tokenMsg),
+		recvDeadline: vtime.Infinity,
+	}
+	c.proc = &Proc{c}
+	s.comps[name] = c
+	s.order = append(s.order, c)
+	return c, nil
+}
+
+// AddPort adds a named port to the component.
+func (c *Component) AddPort(name string) (*Port, error) {
+	if _, dup := c.ports[name]; dup {
+		return nil, fmt.Errorf("core: duplicate port %s.%s", c.name, name)
+	}
+	p := &Port{Name: name, comp: c}
+	c.ports[name] = p
+	return p, nil
+}
+
+// AddInterface groups existing ports (creating any that do not exist)
+// under a named interface.
+func (c *Component) AddInterface(name string, ports ...string) (*Interface, error) {
+	if _, dup := c.ifaces[name]; dup {
+		return nil, fmt.Errorf("core: duplicate interface %s.%s", c.name, name)
+	}
+	for _, pn := range ports {
+		if c.ports[pn] == nil {
+			if _, err := c.AddPort(pn); err != nil {
+				return nil, err
+			}
+		}
+		c.ports[pn].iface = name
+	}
+	ifc := &Interface{Name: name, Ports: append([]string(nil), ports...)}
+	c.ifaces[name] = ifc
+	return ifc, nil
+}
+
+// NewNet creates a net with the given propagation delay.
+func (s *Subsystem) NewNet(name string, delay vtime.Duration) (*Net, error) {
+	if _, dup := s.nets[name]; dup {
+		return nil, fmt.Errorf("core: duplicate net %q", name)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("core: net %q has negative delay", name)
+	}
+	n := &Net{Name: name, Delay: delay, sub: s}
+	s.nets[name] = n
+	return n, nil
+}
+
+// Connect attaches the given ports to the net.
+func (s *Subsystem) Connect(n *Net, ports ...*Port) error {
+	if n.sub != s {
+		return fmt.Errorf("core: net %s belongs to another subsystem", n.Name)
+	}
+	for _, p := range ports {
+		if p.comp != nil && p.comp.sub != s {
+			return fmt.Errorf("core: port %s.%s belongs to another subsystem", p.comp.name, p.Name)
+		}
+		if err := n.attach(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttachHidden adds a hidden port to the net and binds it to a sink.
+// Hidden ports are how channel components listen to a split net: each
+// net split across subsystems includes an extra hidden port that
+// connects bus events to the channel.
+func (s *Subsystem) AttachHidden(n *Net, name string, owner string, sink Sink) (*Port, error) {
+	if n.sub != s {
+		return nil, fmt.Errorf("core: net %s belongs to another subsystem", n.Name)
+	}
+	p := &Port{Name: name, hidden: true, sink: sink, sinkOwner: owner}
+	if err := n.attach(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AddGate registers an advancement constraint (conservative channel).
+func (s *Subsystem) AddGate(g Gate) { s.gates = append(s.gates, g) }
+
+// AddExternal registers an ingress source: while any are registered
+// the scheduler waits for injections instead of terminating when it
+// runs out of local work.
+func (s *Subsystem) AddExternal() {
+	s.mu.Lock()
+	s.external++
+	s.mu.Unlock()
+	s.Wake()
+}
+
+// RemoveExternal unregisters an ingress source (e.g. the peer
+// finished).
+func (s *Subsystem) RemoveExternal() {
+	s.mu.Lock()
+	if s.external > 0 {
+		s.external--
+	}
+	s.mu.Unlock()
+	s.Wake()
+}
+
+// Wake nudges a scheduler that is waiting for external input or a
+// gate grant. Safe from any goroutine.
+func (s *Subsystem) Wake() {
+	s.mu.Lock()
+	s.wakeGen++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stop requests that Run return as soon as the current component
+// parks. Safe from any goroutine.
+func (s *Subsystem) Stop() {
+	s.mu.Lock()
+	s.stopReq = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// InjectDrive injects a net drive from outside the subsystem (channel
+// ingress): the named net will carry value v driven at virtual time t
+// by source src. Safe from any goroutine; takes effect at the next
+// scheduling step, in arrival order relative to other injections.
+func (s *Subsystem) InjectDrive(net, src string, t vtime.Time, v any) error {
+	s.mu.Lock()
+	if s.nets[net] == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("core: inject into unknown net %q", net)
+	}
+	s.injected = append(s.injected, injectedItem{net: net, src: src, t: t, v: v})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return nil
+}
+
+// InjectFunc queues a control function to run on the scheduler
+// goroutine, ordered with other injections. The function may use the
+// scheduler-context APIs (DriveNow, Now, CaptureNow, RequestRollback)
+// and returns true to be retried after the scheduler has handled any
+// rollback it requested. Safe from any goroutine.
+func (s *Subsystem) InjectFunc(fn func() bool) {
+	s.mu.Lock()
+	s.injected = append(s.injected, injectedItem{fn: fn})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// DriveNow drives a net immediately from scheduler context (a control
+// injection or scheduler hook). Hidden ports are skipped, exactly as
+// for InjectDrive. Never call it from component code or other
+// goroutines.
+func (s *Subsystem) DriveNow(net, src string, t vtime.Time, v any) error {
+	n := s.nets[net]
+	if n == nil {
+		return fmt.Errorf("core: drive of unknown net %q", net)
+	}
+	s.driveLocal(n, src, t, v)
+	return nil
+}
+
+// RequestRollback asks the scheduler to restore the latest checkpoint
+// whose cut time is <= t (a straggler with timestamp t arrived on an
+// optimistic channel). Safe from any goroutine.
+func (s *Subsystem) RequestRollback(t vtime.Time) {
+	s.mu.Lock()
+	if t < s.rbTime {
+		s.rbTime = t
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// RequestRollbackComponent asks the scheduler to restore the latest
+// checkpoint in which the named component's local time is <= t. Used
+// by the interrupt-consistency machinery: the component that
+// optimistically ran past an interrupt must itself rewind behind it,
+// regardless of where the subsystem cut fell. Safe from any
+// goroutine.
+func (s *Subsystem) RequestRollbackComponent(comp string, t vtime.Time) {
+	s.mu.Lock()
+	if s.rbComp == "" || t < s.rbCompT {
+		s.rbComp, s.rbCompT = comp, t
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// RequestRestoreTag asks the scheduler to restore the checkpoint
+// captured for the given snapshot tag (distributed coordinated
+// restore). Safe from any goroutine.
+func (s *Subsystem) RequestRestoreTag(tag string) {
+	s.mu.Lock()
+	s.rbTag = tag
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// CheckpointByTag returns the retained checkpoint captured for the
+// given snapshot tag, or nil.
+func (s *Subsystem) CheckpointByTag(tag string) *CheckpointSet {
+	for i := len(s.checkpoints) - 1; i >= 0; i-- {
+		if s.checkpoints[i].Tag == tag {
+			return s.checkpoints[i]
+		}
+	}
+	return nil
+}
+
+// PublishedTimes returns the last published (subsystem time, next
+// event key) pair. Both are monotone lower bounds on the subsystem's
+// actual progress and are safe to read from any goroutine; the
+// safe-time protocol is built on them.
+func (s *Subsystem) PublishedTimes() (now, key vtime.Time) {
+	return vtime.Time(s.pubNow.Load()), vtime.Time(s.pubKey.Load())
+}
+
+// tracef emits a trace line when a Tracer is installed.
+func (s *Subsystem) tracef(format string, args ...any) {
+	if s.Tracer != nil {
+		s.Tracer(fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *Subsystem) noteRunlevel(c *Component, level string) {
+	if s.OnRunlevel != nil {
+		s.OnRunlevel(c.name, level)
+	}
+	s.tracef("%s runlevel -> %s", c.name, level)
+}
+
+// drive fans a value out to every port on the net except the driver.
+// Called with the run token held (from a component's Send) or on the
+// scheduler goroutine (injected drives).
+func (s *Subsystem) drive(n *Net, src string, t vtime.Time, v any) {
+	s.driveFrom(n, nil, src, t, v, false)
+}
+
+// driveLocal fans out an injected (channel ingress) drive. Hidden
+// ports are skipped: a value that arrived over a channel must not be
+// reflected back out by the channel components listening on the same
+// net fragment — the channel component only delivers into the
+// subsystem.
+func (s *Subsystem) driveLocal(n *Net, src string, t vtime.Time, v any) {
+	s.driveFrom(n, nil, src, t, v, true)
+}
+
+func (s *Subsystem) driveFrom(n *Net, driver *Port, src string, t vtime.Time, v any, skipHidden bool) {
+	n.lastValue, n.lastTime, n.lastSource = v, t, src
+	s.stats.Drives++
+	if s.OnDrive != nil {
+		s.OnDrive(n.Name, src, t, v)
+	}
+	deliver := t.Add(n.Delay)
+	for _, pt := range n.ports {
+		if pt == driver {
+			continue
+		}
+		if pt.comp != nil && pt.comp.name == src {
+			continue // a component does not hear its own drive
+		}
+		if pt.hidden {
+			if !skipHidden && pt.sink != nil {
+				pt.sink(Msg{Time: deliver, Sent: t, Port: pt.Name, Net: n.Name, Value: v, Source: src})
+			}
+			continue
+		}
+		pt.comp.inbox.Push(&event.Event{
+			Time:      deliver,
+			Kind:      event.KindNet,
+			Component: pt.comp.name,
+			Port:      pt.Name,
+			Net:       n.Name,
+			Value:     v,
+			Source:    src,
+		})
+	}
+}
+
+// yield is the component side of the scheduling handshake: announce
+// the park, then wait for the next run token.
+func (s *Subsystem) yield(c *Component) tokenMsg {
+	s.yieldCh <- c
+	return <-c.token
+}
+
+// resume hands the run token to c and waits until it parks again.
+func (s *Subsystem) resume(c *Component, tok tokenMsg) {
+	if c.status == statusNew {
+		s.startGoroutine(c)
+	}
+	c.status = statusRunning
+	c.token <- tok
+	<-s.yieldCh
+}
+
+// startGoroutine launches the component's behaviour wrapper.
+func (s *Subsystem) startGoroutine(c *Component) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killPanic); !killed {
+					c.err = fmt.Errorf("core: component %s panicked: %v", c.name, r)
+					c.status = statusDone
+				}
+				// killPanic: status is managed by the killer.
+			}
+			s.yieldCh <- c
+		}()
+		tok := <-c.token
+		if tok.kill {
+			panic(killPanic{c.name})
+		}
+		err := c.behavior.Run(c.proc)
+		c.err = err
+		c.status = statusDone
+	}()
+}
+
+// kill unwinds a parked, live component goroutine.
+func (s *Subsystem) kill(c *Component) {
+	switch c.status {
+	case statusDone:
+		return
+	case statusNew:
+		// Goroutine not started; nothing to unwind.
+		return
+	default:
+		c.token <- tokenMsg{kill: true}
+		<-s.yieldCh
+	}
+}
+
+// Teardown kills every live component goroutine. Call it when
+// abandoning a subsystem whose Run returned early (ErrStopped or a
+// gate error) to avoid leaking goroutines.
+func (s *Subsystem) Teardown() {
+	for _, c := range s.order {
+		s.kill(c)
+		c.status = statusDone
+	}
+}
+
+// Run executes the subsystem until virtual time `until`, until all
+// work is exhausted, or until Stop is called. With until ==
+// vtime.Infinity, exhaustion terminates the components (their Recv
+// calls return ok=false once no more messages can ever arrive) and
+// Run returns nil. With a finite until, components stay parked and Run
+// may be called again to continue.
+func (s *Subsystem) Run(until vtime.Time) error {
+	if s.running {
+		return fmt.Errorf("core: subsystem %s already running", s.name)
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for {
+		// Absorb cross-goroutine requests. Rollbacks are handled
+		// before any queued injection is routed: an optimistic
+		// straggler must first rewind the subsystem and only then be
+		// delivered, or the restore would wipe it out.
+		s.mu.Lock()
+		stop := s.stopReq
+		s.stopReq = false
+		rb := s.rbTime
+		s.rbTime = vtime.Infinity
+		rbTag := s.rbTag
+		s.rbTag = ""
+		rbComp, rbCompT := s.rbComp, s.rbCompT
+		s.rbComp = ""
+		var inj []injectedItem
+		var tags []string
+		if rb == vtime.Infinity && rbTag == "" && rbComp == "" {
+			inj = s.injected
+			s.injected = nil
+			tags = s.ckptTags
+			s.ckptTags = nil
+		}
+		s.mu.Unlock()
+
+		if stop {
+			return ErrStopped
+		}
+		if s.fatal != nil {
+			return s.fatal
+		}
+		if rbTag != "" {
+			cs := s.CheckpointByTag(rbTag)
+			if cs == nil {
+				return fmt.Errorf("%w (tag %q)", ErrNoCheckpoint, rbTag)
+			}
+			if err := s.RestoreCheckpoint(cs); err != nil {
+				return err
+			}
+			continue
+		}
+		if rb != vtime.Infinity {
+			if err := s.restoreBefore(rb); err != nil {
+				return err
+			}
+			continue
+		}
+		if rbComp != "" {
+			if err := s.restoreComponentBefore(rbComp, rbCompT); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Route injections in arrival order. A control item that
+		// requests a rollback (optimistic straggler) interrupts the
+		// batch: it and everything after it are re-queued, the
+		// restore runs first, and routing resumes afterwards.
+		for idx, d := range inj {
+			retry := false
+			if d.fn != nil {
+				retry = d.fn()
+			} else if n := s.nets[d.net]; n != nil {
+				s.driveLocal(n, d.src, d.t, d.v)
+			}
+			s.mu.Lock()
+			interrupted := s.rbTime != vtime.Infinity || s.rbTag != ""
+			if interrupted || retry {
+				rest := inj[idx+1:]
+				if retry {
+					rest = inj[idx:]
+				}
+				s.injected = append(append([]injectedItem(nil), rest...), s.injected...)
+			}
+			s.mu.Unlock()
+			if interrupted || retry {
+				break
+			}
+		}
+		s.mu.Lock()
+		interrupted := s.rbTime != vtime.Infinity || s.rbTag != ""
+		s.mu.Unlock()
+		if interrupted {
+			continue
+		}
+
+		// Capture pending checkpoints: every component is parked
+		// here, so this is the earliest point after the request at
+		// which all images can be taken, and necessarily before any
+		// component receives another message (Pia's domino rule).
+		for _, tag := range tags {
+			if _, err := s.capture(tag); err != nil {
+				return err
+			}
+		}
+		if s.autoCkpt > 0 && s.now >= s.lastAuto.Add(s.autoCkpt) {
+			s.lastAuto = s.now
+			if _, err := s.capture(""); err != nil {
+				return err
+			}
+		}
+
+		// Choose the next action: the component with the smallest key,
+		// and publish the (monotone) lower bounds other goroutines —
+		// notably the safe-time protocol — may rely on.
+		next, key := s.pick()
+		s.pubNow.Store(int64(s.now))
+		s.pubKey.Store(int64(key))
+		if s.OnPublish != nil {
+			s.OnPublish(s.now, key)
+		}
+
+		// A finite-horizon run ends when no local action remains at or
+		// before the horizon; with external channels we must first
+		// drain the safe-time protocol — every gate's bound must
+		// clear the horizon (so nothing can still arrive inside it)
+		// and every obligation toward peers must be met (so peers are
+		// not stranded mid-ratchet by our departure).
+		if until != vtime.Infinity && key > until {
+			if s.hasExternal() && !s.gatesDrained(until) {
+				s.stats.Stalls++
+				s.waitForWake()
+				continue
+			}
+			// Claim the horizon only when nothing external can still
+			// deliver inside it: with optimistic ingress channels the
+			// subsystem's time must stay at its last processed event,
+			// or a late message would wrongly read as a straggler.
+			if !s.hasExternal() {
+				s.now = vtime.Max(s.now, until)
+				for _, c := range s.order {
+					if c.status == statusRecv && c.localTime < s.now {
+						c.localTime = s.now
+					}
+				}
+			}
+			// Announce the departure so the channel layer can push a
+			// final grant covering the horizon: a peer whose ask is
+			// still in flight would otherwise wait forever on a
+			// scheduler that has already left.
+			if s.OnDepart != nil {
+				s.OnDepart(until)
+			}
+			return nil
+		}
+
+		if key == vtime.Infinity {
+			if s.hasExternal() {
+				// Stalled on the outside world.
+				s.stats.Stalls++
+				s.waitForWake()
+				continue
+			}
+			if s.signalEOF() {
+				continue // a component was told the simulation ended
+			}
+			// Everything done or signalled: unwind survivors and exit.
+			for _, c := range s.order {
+				s.kill(c)
+				c.status = statusDone
+			}
+			return s.collectErr()
+		}
+
+		// Conservative gates: may we advance to key?
+		if blocked := s.gateBlocked(key); blocked {
+			s.stats.Stalls++
+			s.waitForWake()
+			continue
+		}
+
+		// Execute the step. Components idle in Recv experience the
+		// passage of virtual time: their local times track subsystem
+		// time, preserving the invariant that system time never
+		// exceeds any local time.
+		s.now = vtime.Max(s.now, key)
+		for _, c := range s.order {
+			if c.status == statusRecv && c.localTime < s.now {
+				c.localTime = s.now
+			}
+		}
+		s.step(next, key)
+
+		if next.err != nil && next.status == statusDone {
+			s.fatal = fmt.Errorf("core: component %s failed: %w", next.name, next.err)
+		}
+		if s.OnStep != nil {
+			s.OnStep(s.now)
+		}
+	}
+}
+
+// pick returns the component with the smallest scheduling key and the
+// key itself. Ties break on creation order for determinism.
+func (s *Subsystem) pick() (*Component, vtime.Time) {
+	var best *Component
+	min := vtime.Infinity
+	for _, c := range s.order {
+		if k := c.key(); k < min {
+			min, best = k, c
+		}
+	}
+	return best, min
+}
+
+// gatesDrained reports whether the subsystem may leave a finite
+// horizon: every gate bound is beyond it (issuing asks where not) and
+// every gate with obligations has discharged them.
+func (s *Subsystem) gatesDrained(until vtime.Time) bool {
+	ok := true
+	for _, g := range s.gates {
+		if g.Bound() <= until {
+			g.Request(until.Add(1))
+			ok = false
+			continue
+		}
+		if q, isQ := g.(GateQuiescer); isQ && !q.Quiesced() {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// gateBlocked checks all gates against the proposed advance; if any
+// bound is too low it issues async requests and reports true.
+func (s *Subsystem) gateBlocked(t vtime.Time) bool {
+	blocked := false
+	for _, g := range s.gates {
+		if g.Bound() < t {
+			g.Request(t)
+			blocked = true
+		}
+	}
+	return blocked
+}
+
+// step resumes component c, delivering a message if it is parked in
+// Recv.
+func (s *Subsystem) step(c *Component, key vtime.Time) {
+	s.stats.Steps++
+	switch c.status {
+	case statusNew, statusRunnable:
+		s.resume(c, tokenMsg{ok: true})
+	case statusRecv:
+		if e := c.nextDeliverable(); e != nil && vtime.Max(e.Time, c.localTime) == key {
+			e = c.popDeliverable()
+			msg := c.msgFromEvent(e)
+			s.stats.Deliveries++
+			s.resume(c, tokenMsg{ok: true, msg: msg})
+			return
+		}
+		// Deadline expiry.
+		c.localTime = vtime.Max(c.localTime, c.recvDeadline)
+		s.resume(c, tokenMsg{ok: false})
+	default:
+		panic(fmt.Sprintf("core: scheduled component %s in state %v", c.name, c.status))
+	}
+}
+
+// signalEOF resumes one not-yet-signalled Recv-blocked component with
+// ok=false, in deterministic order. Returns false when none remain.
+func (s *Subsystem) signalEOF() bool {
+	for _, c := range s.order {
+		if c.status == statusRecv && !c.eofSignaled {
+			c.eofSignaled = true
+			s.resume(c, tokenMsg{ok: false})
+			return true
+		}
+	}
+	return false
+}
+
+// hasExternal reports whether ingress sources remain registered.
+func (s *Subsystem) hasExternal() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.external > 0
+}
+
+// waitForWake blocks until something changes: an injection, a gate
+// update (Wake), a stop, or a rollback request.
+func (s *Subsystem) waitForWake() {
+	s.mu.Lock()
+	gen := s.wakeGen
+	for len(s.injected) == 0 && len(s.ckptTags) == 0 && !s.stopReq && s.rbTime == vtime.Infinity && s.rbTag == "" && s.rbComp == "" && s.wakeGen == gen {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// collectErr aggregates terminal component errors.
+func (s *Subsystem) collectErr() error {
+	if s.fatal != nil {
+		return s.fatal
+	}
+	for _, c := range s.order {
+		if c.err != nil {
+			return fmt.Errorf("core: component %s failed: %w", c.name, c.err)
+		}
+	}
+	return nil
+}
+
+// ReplaceBehavior swaps a component's behaviour for a new instance —
+// the runtime half of recompiling and reloading a component without
+// restarting the simulator. Only legal between runs. When both the
+// old and new behaviours support state saving and transfer is true,
+// the old state is carried over; the component's local time is
+// preserved either way and its goroutine restarts in the new Run.
+func (s *Subsystem) ReplaceBehavior(name string, b Behavior, transfer bool) error {
+	if s.running {
+		return fmt.Errorf("core: cannot replace behaviour of %q while running", name)
+	}
+	c := s.comps[name]
+	if c == nil {
+		return fmt.Errorf("core: no component %q", name)
+	}
+	if b == nil {
+		return fmt.Errorf("core: nil behaviour for %q", name)
+	}
+	var state []byte
+	if transfer {
+		oldSv, oldOK := c.behavior.(StateSaver)
+		newSv, newOK := b.(StateSaver)
+		if oldOK && newOK {
+			st, err := oldSv.SaveState()
+			if err != nil {
+				return fmt.Errorf("core: reload of %s: save: %w", name, err)
+			}
+			if err := newSv.RestoreState(st); err != nil {
+				return fmt.Errorf("core: reload of %s: restore: %w", name, err)
+			}
+			state = st
+		}
+	}
+	_ = state
+	s.kill(c)
+	c.behavior = b
+	c.status = statusNew
+	c.token = make(chan tokenMsg)
+	c.err = nil
+	c.eofSignaled = false
+	c.recvPorts = nil
+	c.recvDeadline = vtime.Infinity
+	s.tracef("%s behaviour reloaded (transfer=%v)", name, transfer)
+	return nil
+}
+
+// NextEventTime returns the earliest time at which the subsystem
+// could act (its next scheduling key), or Infinity when idle. Used by
+// the safe-time protocol.
+func (s *Subsystem) NextEventTime() vtime.Time {
+	_, key := s.pick()
+	return key
+}

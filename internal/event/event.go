@@ -1,0 +1,210 @@
+// Package event provides timestamped simulation events and the
+// deterministic priority queue the Pia subsystem scheduler is built
+// on.
+//
+// Every observable action in a Pia simulation — a net changing value,
+// a timer firing, a message crossing a channel — is an Event. Events
+// are ordered by (Time, Seq): the sequence number is assigned at
+// enqueue time, so two events scheduled for the same instant are
+// delivered in the order they were produced. That tie-break is what
+// makes whole-simulation runs reproducible bit-for-bit.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// Kind classifies an event for dispatch.
+type Kind uint8
+
+const (
+	// KindNet is a value change on a net, destined for every port
+	// connected to the net other than the driver.
+	KindNet Kind = iota
+	// KindTimer is a component-requested wakeup.
+	KindTimer
+	// KindControl is a scheduler-internal control action (runlevel
+	// switch, checkpoint request, ...) executed at a point in virtual
+	// time.
+	KindControl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNet:
+		return "net"
+	case KindTimer:
+		return "timer"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is a single scheduled occurrence.
+type Event struct {
+	Time vtime.Time // when the event takes effect
+	Seq  uint64     // enqueue order, breaks Time ties
+	Kind Kind
+
+	// Target routing. For KindNet events, Net names the net whose
+	// value changed and Component/Port name one receiving port (the
+	// scheduler fans a net change out to one Event per listener).
+	// For KindTimer, Component names the sleeper.
+	Component string
+	Port      string
+	Net       string
+
+	// Value is the payload (a signal value for net events, nil for
+	// timers). It must be gob-encodable when the event crosses a
+	// node boundary.
+	Value any
+
+	// Source identifies the component that produced the event;
+	// empty for external injections.
+	Source string
+
+	// Exec is an optional control action for KindControl events.
+	// Never serialized.
+	Exec func() `json:"-"`
+}
+
+// Before reports whether e is ordered strictly before f.
+func (e *Event) Before(f *Event) bool {
+	if e.Time != f.Time {
+		return e.Time < f.Time
+	}
+	return e.Seq < f.Seq
+}
+
+// String renders a compact description for traces.
+func (e *Event) String() string {
+	switch e.Kind {
+	case KindNet:
+		return fmt.Sprintf("@%v net %s -> %s.%s = %v", e.Time, e.Net, e.Component, e.Port, e.Value)
+	case KindTimer:
+		return fmt.Sprintf("@%v timer %s", e.Time, e.Component)
+	default:
+		return fmt.Sprintf("@%v %s", e.Time, e.Kind)
+	}
+}
+
+// Queue is a priority queue of events ordered by (Time, Seq).
+// The zero value is ready to use. Queue is not safe for concurrent
+// use; the subsystem scheduler owns it.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules an event, stamping it with the next sequence number.
+// It returns the stamped event (the same pointer).
+func (q *Queue) Push(e *Event) *Event {
+	q.seq++
+	e.Seq = q.seq
+	heap.Push(&q.h, e)
+	return e
+}
+
+// PushStamped schedules an event that already carries a sequence
+// number (used when replaying events captured in a snapshot, so the
+// original ordering is preserved).
+func (q *Queue) PushStamped(e *Event) {
+	if e.Seq > q.seq {
+		q.seq = e.Seq
+	}
+	heap.Push(&q.h, e)
+}
+
+// Peek returns the earliest event without removing it, or nil when the
+// queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// NextTime returns the time of the earliest pending event, or
+// vtime.Infinity when the queue is empty.
+func (q *Queue) NextTime() vtime.Time {
+	if len(q.h) == 0 {
+		return vtime.Infinity
+	}
+	return q.h[0].Time
+}
+
+// Drain removes and returns all events with Time <= t, in order.
+func (q *Queue) Drain(t vtime.Time) []*Event {
+	var out []*Event
+	for len(q.h) > 0 && q.h[0].Time <= t {
+		out = append(out, heap.Pop(&q.h).(*Event))
+	}
+	return out
+}
+
+// Snapshot returns the pending events in delivery order without
+// disturbing the queue. Used by the checkpoint machinery.
+func (q *Queue) Snapshot() []*Event {
+	tmp := make(eventHeap, len(q.h))
+	copy(tmp, q.h)
+	out := make([]*Event, 0, len(tmp))
+	for len(tmp) > 0 {
+		out = append(out, heap.Pop(&tmp).(*Event))
+	}
+	return out
+}
+
+// DiscardAfter removes every pending event with Time > t and returns
+// how many were removed. Used on rollback: events from the discarded
+// future must not survive the restore.
+func (q *Queue) DiscardAfter(t vtime.Time) int {
+	kept := q.h[:0]
+	removed := 0
+	for _, e := range q.h {
+		if e.Time > t {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	q.h = kept
+	heap.Init(&q.h)
+	return removed
+}
+
+// Reset empties the queue but keeps the sequence counter monotone, so
+// new events still order after everything ever scheduled.
+func (q *Queue) Reset() { q.h = q.h[:0] }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].Before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,245 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	q.Push(&Event{Time: 30})
+	q.Push(&Event{Time: 10})
+	q.Push(&Event{Time: 20})
+	var got []vtime.Time
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Time)
+	}
+	want := []vtime.Time{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueFIFOWithinSameTime(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		q.Push(&Event{Time: 7, Component: string(rune('a' + i))})
+	}
+	for i := 0; i < 5; i++ {
+		e := q.Pop()
+		if e.Component != string(rune('a'+i)) {
+			t.Fatalf("tie-break broken: got %q at position %d", e.Component, i)
+		}
+	}
+}
+
+func TestPeekAndNextTime(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue should be nil")
+	}
+	if q.NextTime() != vtime.Infinity {
+		t.Fatal("NextTime on empty queue should be Infinity")
+	}
+	q.Push(&Event{Time: 42})
+	if q.Peek().Time != 42 || q.NextTime() != 42 {
+		t.Fatal("Peek/NextTime disagree with contents")
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue should be nil")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var q Queue
+	for _, ts := range []vtime.Time{5, 1, 9, 3, 7} {
+		q.Push(&Event{Time: ts})
+	}
+	got := q.Drain(5)
+	if len(got) != 3 {
+		t.Fatalf("Drain(5) returned %d events, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Before(got[i-1]) {
+			t.Fatal("Drain output not ordered")
+		}
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue left with %d events, want 2", q.Len())
+	}
+}
+
+func TestDiscardAfter(t *testing.T) {
+	var q Queue
+	for _, ts := range []vtime.Time{5, 1, 9, 3, 7} {
+		q.Push(&Event{Time: ts})
+	}
+	n := q.DiscardAfter(5)
+	if n != 2 {
+		t.Fatalf("DiscardAfter removed %d, want 2", n)
+	}
+	var rest []vtime.Time
+	for q.Len() > 0 {
+		rest = append(rest, q.Pop().Time)
+	}
+	want := []vtime.Time{1, 3, 5}
+	for i := range want {
+		if rest[i] != want[i] {
+			t.Fatalf("after discard: %v, want %v", rest, want)
+		}
+	}
+}
+
+func TestSnapshotDoesNotDisturb(t *testing.T) {
+	var q Queue
+	for _, ts := range []vtime.Time{5, 1, 9} {
+		q.Push(&Event{Time: ts})
+	}
+	snap := q.Snapshot()
+	if len(snap) != 3 || snap[0].Time != 1 || snap[1].Time != 5 || snap[2].Time != 9 {
+		t.Fatalf("snapshot wrong: %v", snap)
+	}
+	if q.Len() != 3 || q.Peek().Time != 1 {
+		t.Fatal("Snapshot disturbed the queue")
+	}
+}
+
+func TestPushStampedPreservesOrder(t *testing.T) {
+	var q Queue
+	a := q.Push(&Event{Time: 4})
+	b := q.Push(&Event{Time: 4})
+	// Simulate replay into a fresh queue.
+	var r Queue
+	r.PushStamped(b)
+	r.PushStamped(a)
+	if r.Pop() != a || r.Pop() != b {
+		t.Fatal("PushStamped lost original ordering")
+	}
+	// New pushes must order after replayed ones at the same time.
+	var s Queue
+	s.PushStamped(b)
+	c := s.Push(&Event{Time: 4})
+	if c.Seq <= b.Seq {
+		t.Fatal("sequence counter not kept monotone across PushStamped")
+	}
+}
+
+// Property: popping the queue always yields a non-decreasing (Time,
+// Seq) sequence, no matter the insertion order.
+func TestQueueSortedProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		for _, ts := range times {
+			q.Push(&Event{Time: vtime.Time(ts)})
+		}
+		prev := &Event{Time: -1}
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Before(prev) {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Drain(t) returns exactly the events with Time <= t.
+func TestDrainPartitionProperty(t *testing.T) {
+	f := func(times []uint8, cut uint8) bool {
+		var q Queue
+		for _, ts := range times {
+			q.Push(&Event{Time: vtime.Time(ts)})
+		}
+		got := q.Drain(vtime.Time(cut))
+		for _, e := range got {
+			if e.Time > vtime.Time(cut) {
+				return false
+			}
+		}
+		for q.Len() > 0 {
+			if q.Pop().Time <= vtime.Time(cut) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := &Event{Time: 5, Kind: KindNet, Net: "bus", Component: "cpu", Port: "in", Value: 7}
+	if s := e.String(); s == "" {
+		t.Fatal("empty String for net event")
+	}
+	timer := &Event{Time: 5, Kind: KindTimer, Component: "cpu"}
+	if s := timer.String(); s == "" {
+		t.Fatal("empty String for timer event")
+	}
+	ctl := &Event{Time: 5, Kind: KindControl}
+	if s := ctl.String(); s == "" {
+		t.Fatal("empty String for control event")
+	}
+	for _, k := range []Kind{KindNet, KindTimer, KindControl, Kind(99)} {
+		if k.String() == "" {
+			t.Fatal("empty Kind string")
+		}
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	times := make([]vtime.Time, 1024)
+	for i := range times {
+		times[i] = vtime.Time(rng.Int63n(1 << 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(&Event{Time: times[i%len(times)]})
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}
+
+func TestStableAgainstSort(t *testing.T) {
+	// Cross-check the heap against a reference stable sort.
+	rng := rand.New(rand.NewSource(7))
+	var q Queue
+	type rec struct {
+		time vtime.Time
+		seq  int
+	}
+	var ref []rec
+	for i := 0; i < 500; i++ {
+		ts := vtime.Time(rng.Intn(50))
+		q.Push(&Event{Time: ts})
+		ref = append(ref, rec{ts, i})
+	}
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].time < ref[j].time })
+	for i := 0; q.Len() > 0; i++ {
+		if got := q.Pop().Time; got != ref[i].time {
+			t.Fatalf("position %d: heap %v, reference %v", i, got, ref[i].time)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package graph maintains the global view of a distributed Pia
+// system: which components live on which subsystem, which logical
+// nets connect them, and how those nets must be split when they cross
+// subsystem boundaries.
+//
+// When a set of components moves from one subsystem to another, the
+// split in the affected nets is determined by a cut of the component
+// graph: a boundary is drawn around the moved components and every
+// net crossing the boundary is split. Pia performs each split against
+// the global view — never just locally — because repeated local
+// splits could force a net to pass through subsystems that contain no
+// components relevant to the net. Computing splits from the global
+// view, as Partition does, makes that impossible: a net is realized
+// only on subsystems that actually host one of its ports.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vtime"
+)
+
+// PortRef names a port on a component, globally.
+type PortRef struct {
+	Component string
+	Port      string
+}
+
+func (r PortRef) String() string { return r.Component + "." + r.Port }
+
+// LogicalNet is a net in the designer's view, before any splitting.
+type LogicalNet struct {
+	Name  string
+	Delay vtime.Duration
+	Ports []PortRef
+}
+
+// View is the global view of the system: the component graph with
+// subsystem assignments.
+type View struct {
+	comps map[string]string // component -> subsystem
+	nets  map[string]*LogicalNet
+	order []string // net insertion order, for deterministic output
+}
+
+// NewView creates an empty global view.
+func NewView() *View {
+	return &View{comps: make(map[string]string), nets: make(map[string]*LogicalNet)}
+}
+
+// AddComponent registers a component on a subsystem.
+func (v *View) AddComponent(comp, subsystem string) error {
+	if comp == "" || subsystem == "" {
+		return fmt.Errorf("graph: empty component or subsystem name")
+	}
+	if _, dup := v.comps[comp]; dup {
+		return fmt.Errorf("graph: duplicate component %q", comp)
+	}
+	v.comps[comp] = subsystem
+	return nil
+}
+
+// AddNet registers a logical net connecting the given ports.
+func (v *View) AddNet(name string, delay vtime.Duration, ports ...PortRef) error {
+	if _, dup := v.nets[name]; dup {
+		return fmt.Errorf("graph: duplicate net %q", name)
+	}
+	for _, p := range ports {
+		if _, ok := v.comps[p.Component]; !ok {
+			return fmt.Errorf("graph: net %q references unknown component %q", name, p.Component)
+		}
+	}
+	v.nets[name] = &LogicalNet{Name: name, Delay: delay, Ports: append([]PortRef(nil), ports...)}
+	v.order = append(v.order, name)
+	return nil
+}
+
+// Subsystem returns the subsystem hosting the component ("" if
+// unknown).
+func (v *View) Subsystem(comp string) string { return v.comps[comp] }
+
+// Components returns the components assigned to the named subsystem,
+// sorted.
+func (v *View) Components(subsystem string) []string {
+	var out []string
+	for c, s := range v.comps {
+		if s == subsystem {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subsystems returns all subsystem names, sorted.
+func (v *View) Subsystems() []string {
+	seen := make(map[string]bool)
+	for _, s := range v.comps {
+		seen[s] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Move reassigns a set of components to a new subsystem — drawing a
+// boundary around them and re-deriving every split from the global
+// view.
+func (v *View) Move(subsystem string, comps ...string) error {
+	for _, c := range comps {
+		if _, ok := v.comps[c]; !ok {
+			return fmt.Errorf("graph: move of unknown component %q", c)
+		}
+	}
+	for _, c := range comps {
+		v.comps[c] = subsystem
+	}
+	return nil
+}
+
+// Fragment is the portion of a logical net realized on one subsystem.
+type Fragment struct {
+	Subsystem string
+	Ports     []PortRef
+}
+
+// Split describes how one logical net is realized: one fragment per
+// subsystem hosting at least one of its ports, plus the channel pairs
+// that bridge the fragments.
+type Split struct {
+	Net       string
+	Delay     vtime.Duration
+	Fragments []Fragment // sorted by subsystem
+	// Crossing reports whether the net spans more than one subsystem
+	// (needs hidden ports and channel components).
+	Crossing bool
+}
+
+// ChannelSpec is an unordered subsystem pair that needs a channel
+// because at least one net crosses between them. A < B always.
+type ChannelSpec struct {
+	A, B string
+	Nets []string // crossing nets carried by this channel, sorted
+}
+
+// Partition computes, from the global view, the realization of every
+// net: fragments per subsystem and the set of required channels.
+// A net's fragments exist only on subsystems that host one of its
+// ports, so no net ever passes through an irrelevant subsystem.
+func (v *View) Partition() ([]Split, []ChannelSpec, error) {
+	var splits []Split
+	chans := make(map[[2]string]*ChannelSpec)
+	for _, name := range v.order {
+		n := v.nets[name]
+		bySub := make(map[string][]PortRef)
+		for _, p := range n.Ports {
+			bySub[v.comps[p.Component]] = append(bySub[v.comps[p.Component]], p)
+		}
+		subs := make([]string, 0, len(bySub))
+		for s := range bySub {
+			subs = append(subs, s)
+		}
+		sort.Strings(subs)
+		sp := Split{Net: n.Name, Delay: n.Delay, Crossing: len(subs) > 1}
+		for _, s := range subs {
+			ports := bySub[s]
+			sort.Slice(ports, func(i, j int) bool { return ports[i].String() < ports[j].String() })
+			sp.Fragments = append(sp.Fragments, Fragment{Subsystem: s, Ports: ports})
+		}
+		splits = append(splits, sp)
+		if sp.Crossing {
+			for i := 0; i < len(subs); i++ {
+				for j := i + 1; j < len(subs); j++ {
+					key := [2]string{subs[i], subs[j]}
+					cs := chans[key]
+					if cs == nil {
+						cs = &ChannelSpec{A: subs[i], B: subs[j]}
+						chans[key] = cs
+					}
+					cs.Nets = append(cs.Nets, n.Name)
+				}
+			}
+		}
+	}
+	keys := make([][2]string, 0, len(chans))
+	for k := range chans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	specs := make([]ChannelSpec, 0, len(keys))
+	for _, k := range keys {
+		cs := chans[k]
+		sort.Strings(cs.Nets)
+		specs = append(specs, *cs)
+	}
+	return splits, specs, nil
+}
+
+// HiddenPortName names the hidden port added to a net fragment for
+// the channel toward the given peer subsystem.
+func HiddenPortName(net, peer string) string { return net + "$" + peer }
+
+// ChannelComponentName names the channel (proxy) component a
+// subsystem hosts for its channel to a peer.
+func ChannelComponentName(local, peer string) string { return "chan:" + local + ">" + peer }

@@ -1,0 +1,106 @@
+package hwstub
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/signal"
+	"repro/internal/vtime"
+)
+
+// Adapter wraps a Device as a Pia component behaviour: the
+// hardware/software stub. It keeps the device's time in lock step
+// with the component's local time, forwards register writes arriving
+// as BusCycle messages on port "bus", and raises the device's
+// buffered interrupts as IRQ messages on port "irq".
+//
+// Adapter is deliberately not checkpointable: real hardware cannot be
+// rolled back, so components backed by hardware belong behind
+// conservative channels — which is also why the paper's conservative
+// protocol exists.
+type Adapter struct {
+	Dev Device
+	// Quantum is how far the hardware may run per step while idle;
+	// smaller quanta mean finer interrupt timing, more stub calls.
+	Quantum vtime.Duration
+	// Horizon stops the adapter (hardware has no natural end).
+	Horizon vtime.Time
+
+	// Forwarded counts interrupts passed up to the simulator.
+	Forwarded int64
+}
+
+// Run implements core.Behavior.
+func (a *Adapter) Run(p *core.Proc) error {
+	if a.Dev == nil {
+		return fmt.Errorf("hwstub: adapter without device")
+	}
+	q := a.Quantum
+	if q <= 0 {
+		q = vtime.Duration(1 * vtime.Microsecond)
+	}
+	if err := a.Dev.SetTime(p.Time()); err != nil {
+		return fmt.Errorf("hwstub: set time: %w", err)
+	}
+	for a.Horizon == 0 || p.Time() < a.Horizon {
+		// Service bus traffic that is due before letting the
+		// hardware run another quantum.
+		m, ok := p.RecvDeadline(p.Time().Add(q), "bus")
+		if ok {
+			switch v := m.Value.(type) {
+			case signal.BusCycle:
+				if v.Write {
+					if err := a.Dev.WriteReg(v.Addr, uint32(v.Data)); err != nil {
+						return fmt.Errorf("hwstub: write reg: %w", err)
+					}
+				} else {
+					rv, err := a.Dev.ReadReg(v.Addr)
+					if err != nil {
+						return fmt.Errorf("hwstub: read reg: %w", err)
+					}
+					p.Send("bus", signal.BusCycle{Addr: v.Addr, Data: signal.Word(rv)})
+				}
+			case signal.Word:
+				if err := a.Dev.WriteReg(0, uint32(v)); err != nil {
+					return fmt.Errorf("hwstub: write reg0: %w", err)
+				}
+			}
+			// The hardware ran while we serviced the bus: bring its
+			// clock up to our local time.
+			if err := a.syncTo(p); err != nil {
+				return err
+			}
+			continue
+		}
+		// Deadline expired: local time advanced by one quantum; run
+		// the hardware for the same window and collect interrupts.
+		if err := a.syncTo(p); err != nil {
+			return err
+		}
+		if !p.Pending() && p.Time() >= a.Horizon && a.Horizon != 0 {
+			break
+		}
+	}
+	return a.Dev.Stall()
+}
+
+// syncTo advances the device to the component's local time and
+// forwards any interrupts raised in the window.
+func (a *Adapter) syncTo(p *core.Proc) error {
+	ht, err := a.Dev.ReadTime()
+	if err != nil {
+		return fmt.Errorf("hwstub: read time: %w", err)
+	}
+	if ht >= p.Time() {
+		return nil
+	}
+	irqs, err := a.Dev.RunFor(p.Time().Sub(ht))
+	if err != nil {
+		return fmt.Errorf("hwstub: run: %w", err)
+	}
+	for _, irq := range irqs {
+		a.Forwarded++
+		p.SendAt("irq", signal.IRQ{Line: irq.Line, Cause: fmt.Sprintf("hw@%v", irq.At)}, vtime.Max(irq.At, p.Time()))
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package hwstub
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/vtime"
+	"repro/internal/wire"
+)
+
+// The remote hardware protocol: a tiny request/response RPC over the
+// wire framing. This is the paper's "small server which resides on
+// the embedded system": it exposes the stub operations so a remotely
+// located device can be patched into a simulated circuit.
+
+type hwReq struct {
+	Op   string // "settime", "readtime", "runfor", "stall", "pending", "write", "read"
+	Time vtime.Time
+	Dur  vtime.Duration
+	Addr uint32
+	Val  uint32
+}
+
+type hwResp struct {
+	Err  string
+	Time vtime.Time
+	Val  uint32
+	IRQs []Interrupt
+}
+
+// Server makes a Device remotely accessible.
+type Server struct {
+	dev Device
+	ln  net.Listener
+	wg  sync.WaitGroup
+}
+
+// Serve starts a hardware server for dev on addr (":0" for
+// ephemeral); it returns the bound address.
+func Serve(dev Device, addr string) (*Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("hwstub: listen: %w", err)
+	}
+	s := &Server{dev: dev, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(wire.NewConn(c))
+		}()
+	}
+}
+
+func (s *Server) serve(c *wire.Conn) {
+	defer c.Close()
+	for {
+		var req hwReq
+		if err := c.Recv(&req); err != nil {
+			return
+		}
+		var resp hwResp
+		switch req.Op {
+		case "settime":
+			resp.Err = errStr(s.dev.SetTime(req.Time))
+		case "readtime":
+			t, err := s.dev.ReadTime()
+			resp.Time, resp.Err = t, errStr(err)
+		case "runfor":
+			irqs, err := s.dev.RunFor(req.Dur)
+			resp.IRQs, resp.Err = irqs, errStr(err)
+		case "stall":
+			resp.Err = errStr(s.dev.Stall())
+		case "pending":
+			irqs, err := s.dev.Pending()
+			resp.IRQs, resp.Err = irqs, errStr(err)
+		case "write":
+			resp.Err = errStr(s.dev.WriteReg(req.Addr, req.Val))
+		case "read":
+			v, err := s.dev.ReadReg(req.Addr)
+			resp.Val, resp.Err = v, errStr(err)
+		default:
+			resp.Err = fmt.Sprintf("hwstub: unknown op %q", req.Op)
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// RemoteDevice is a Device backed by a hardware server across the
+// network. It is safe for use by one adapter at a time.
+type RemoteDevice struct {
+	mu sync.Mutex
+	c  *wire.Conn
+}
+
+// Dial connects to a hardware server.
+func Dial(addr string) (*RemoteDevice, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDevice{c: c}, nil
+}
+
+// Close releases the connection.
+func (r *RemoteDevice) Close() error { return r.c.Close() }
+
+func (r *RemoteDevice) call(req hwReq) (hwResp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.c.Send(req); err != nil {
+		return hwResp{}, err
+	}
+	var resp hwResp
+	if err := r.c.Recv(&resp); err != nil {
+		return hwResp{}, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// SetTime implements Device.
+func (r *RemoteDevice) SetTime(t vtime.Time) error {
+	_, err := r.call(hwReq{Op: "settime", Time: t})
+	return err
+}
+
+// ReadTime implements Device.
+func (r *RemoteDevice) ReadTime() (vtime.Time, error) {
+	resp, err := r.call(hwReq{Op: "readtime"})
+	return resp.Time, err
+}
+
+// RunFor implements Device.
+func (r *RemoteDevice) RunFor(d vtime.Duration) ([]Interrupt, error) {
+	resp, err := r.call(hwReq{Op: "runfor", Dur: d})
+	return resp.IRQs, err
+}
+
+// Stall implements Device.
+func (r *RemoteDevice) Stall() error {
+	_, err := r.call(hwReq{Op: "stall"})
+	return err
+}
+
+// Pending implements Device.
+func (r *RemoteDevice) Pending() ([]Interrupt, error) {
+	resp, err := r.call(hwReq{Op: "pending"})
+	return resp.IRQs, err
+}
+
+// WriteReg implements Device.
+func (r *RemoteDevice) WriteReg(addr, v uint32) error {
+	_, err := r.call(hwReq{Op: "write", Addr: addr, Val: v})
+	return err
+}
+
+// ReadReg implements Device.
+func (r *RemoteDevice) ReadReg(addr uint32) (uint32, error) {
+	resp, err := r.call(hwReq{Op: "read", Addr: addr})
+	return resp.Val, err
+}
+
+var _ Device = (*RemoteDevice)(nil)

@@ -1,0 +1,133 @@
+// Package iss implements an instruction set simulator component for
+// Pia. The paper notes that "there is no reason that the component
+// can't be an instruction set simulator of a particular processor,
+// but we have not yet devoted any effort to either implementing such
+// components or adapting an existing ISS to Pia" — this package does
+// that work: a small 32-bit RISC (16 registers, load/store, ALU,
+// branches, port I/O, wait-for-interrupt) whose interpreter runs as a
+// core.Behavior, charges per-instruction time through the
+// basic-block timing models, accesses data memory through the
+// kernel's synchronous-memory model (so DMA and interrupt handlers
+// compose with §2.1.1 consistency), and performs I/O by driving and
+// receiving on ordinary Pia nets.
+//
+// Instructions are 32 bits: op(8) rd(4) rs(4) rt(4) imm(12, signed).
+// An assembler (Assemble) turns readable text into program words.
+package iss
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	NOP  Op = iota // nop
+	HALT           // halt
+	LI             // li rd, imm          rd = imm (sign-extended)
+	LUI            // lui rd, imm         rd = imm << 12
+	MOV            // mov rd, rs          rd = rs
+	ADD            // add rd, rs, rt      rd = rs + rt
+	SUB            // sub rd, rs, rt
+	MUL            // mul rd, rs, rt
+	AND            // and rd, rs, rt
+	OR             // or rd, rs, rt
+	XOR            // xor rd, rs, rt
+	SHL            // shl rd, rs, rt      rd = rs << (rt & 31)
+	SHR            // shr rd, rs, rt      rd = rs >> (rt & 31)
+	ADDI           // addi rd, rs, imm    rd = rs + imm
+	LD             // ld rd, [rs+imm]     rd = mem[rs+imm]
+	ST             // st rt, [rs+imm]     mem[rs+imm] = rt
+	BEQ            // beq rs, rt, target  if rs == rt: pc = target
+	BNE            // bne rs, rt, target
+	BLT            // blt rs, rt, target  (signed)
+	JMP            // jmp target
+	OUT            // out rs              send rs on the output port
+	IN             // in rd               block until a word arrives
+	WFI            // wfi                 wait for the next interrupt
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt", LI: "li", LUI: "lui", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", ADDI: "addi", LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", JMP: "jmp",
+	OUT: "out", IN: "in", WFI: "wfi",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int32 // 12-bit signed as decoded
+}
+
+const (
+	immBits = 12
+	immMax  = 1<<(immBits-1) - 1
+	immMin  = -(1 << (immBits - 1))
+)
+
+// Encode packs an instruction into a program word.
+func (i Instr) Encode() (uint32, error) {
+	if i.Rd > 15 || i.Rs > 15 || i.Rt > 15 {
+		return 0, fmt.Errorf("iss: register out of range in %v", i)
+	}
+	if i.Imm > immMax || i.Imm < immMin {
+		return 0, fmt.Errorf("iss: immediate %d out of 12-bit range", i.Imm)
+	}
+	w := uint32(i.Op)<<24 | uint32(i.Rd)<<20 | uint32(i.Rs)<<16 | uint32(i.Rt)<<12
+	w |= uint32(i.Imm) & 0xFFF
+	return w, nil
+}
+
+// Decode unpacks a program word.
+func Decode(w uint32) Instr {
+	imm := int32(w & 0xFFF)
+	if imm&0x800 != 0 {
+		imm -= 1 << immBits // sign extend
+	}
+	return Instr{
+		Op:  Op(w >> 24),
+		Rd:  uint8(w >> 20 & 0xF),
+		Rs:  uint8(w >> 16 & 0xF),
+		Rt:  uint8(w >> 12 & 0xF),
+		Imm: imm,
+	}
+}
+
+// String disassembles one instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HALT, WFI:
+		return i.Op.String()
+	case LI, LUI:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case MOV:
+		return fmt.Sprintf("mov r%d, r%d", i.Rd, i.Rs)
+	case ADDI:
+		return fmt.Sprintf("addi r%d, r%d, %d", i.Rd, i.Rs, i.Imm)
+	case LD:
+		return fmt.Sprintf("ld r%d, [r%d%+d]", i.Rd, i.Rs, i.Imm)
+	case ST:
+		return fmt.Sprintf("st r%d, [r%d%+d]", i.Rt, i.Rs, i.Imm)
+	case BEQ, BNE, BLT:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rs, i.Rt, i.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp %d", i.Imm)
+	case OUT:
+		return fmt.Sprintf("out r%d", i.Rs)
+	case IN:
+		return fmt.Sprintf("in r%d", i.Rd)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs, i.Rt)
+	}
+}

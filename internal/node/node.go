@@ -1,0 +1,328 @@
+// Package node implements Pia nodes: the network servers that host
+// subsystems and interconnect them over TCP. Each node serves as both
+// a client and a server and handles all inter-node communication so
+// that it is hidden from the user; the paper used Java RMI here, this
+// implementation speaks the length-prefixed gob protocol of package
+// wire. One TCP connection carries one channel, which preserves the
+// per-channel FIFO order the time-management protocols require.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/vtime"
+	"repro/internal/wire"
+)
+
+func init() { channel.Register() }
+
+// hello opens a channel: the dialing node announces which hosted
+// subsystem it wants to bind to which remote subsystem.
+type hello struct {
+	FromNode string
+	FromSub  string
+	ToSub    string
+	Policy   uint8
+	Link     channel.LinkModel
+}
+
+// helloAck confirms or rejects the binding.
+type helloAck struct {
+	OK    bool
+	Error string
+}
+
+// frame is the single frame type exchanged after the handshake.
+type frame struct {
+	Msg channel.Message
+}
+
+// Hosted bundles a subsystem with its channel hub and snapshot agent
+// on a node.
+type Hosted struct {
+	Sub   *core.Subsystem
+	Hub   *channel.Hub
+	Agent *snapshot.Agent
+
+	// OnChannel, when set, is invoked after an incoming handshake
+	// creates a server-side endpoint — the place to bind split nets.
+	OnChannel func(ep *channel.Endpoint)
+}
+
+// Node is a Pia node: a number of sockets, each of which can
+// facilitate a connection to a design tool, a simulator subsystem or
+// a remote device.
+type Node struct {
+	name string
+
+	mu     sync.Mutex
+	hosted map[string]*Hosted
+	ln     net.Listener
+	conns  []*wire.Conn
+	closed bool
+	wg     sync.WaitGroup
+
+	// Tracer receives connection-level diagnostics.
+	Tracer func(string)
+}
+
+// New creates a node.
+func New(name string) *Node {
+	return &Node{name: name, hosted: make(map[string]*Hosted)}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Host registers a subsystem on the node, creating its hub and
+// snapshot agent. Call before Listen/Connect involving the
+// subsystem. Note the agent attaches to endpoints created later, so
+// Host wires agents lazily: the agent is created on first use.
+func (n *Node) Host(sub *core.Subsystem) *Hosted {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosted[sub.Name()]; ok {
+		return h
+	}
+	h := &Hosted{Sub: sub, Hub: channel.NewHub(sub)}
+	n.hosted[sub.Name()] = h
+	return h
+}
+
+// Hosted returns the named hosted subsystem, or nil.
+func (n *Node) Hosted(name string) *Hosted {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosted[name]
+}
+
+// FinishAgents creates the snapshot agents once all channels exist.
+// Call after every Listen/Connect binding is set up and before
+// running.
+func (n *Node) FinishAgents() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, h := range n.hosted {
+		if h.Agent == nil {
+			h.Agent = snapshot.NewAgent(h.Hub)
+		}
+	}
+}
+
+// trace logs through the tracer if set.
+func (n *Node) trace(format string, args ...any) {
+	if n.Tracer != nil {
+		n.Tracer(fmt.Sprintf(format, args...))
+	}
+}
+
+// Listen starts accepting channel connections on addr (use ":0" for
+// an ephemeral port) and returns the bound address.
+func (n *Node) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("node %s: listen: %w", n.name, err)
+	}
+	n.mu.Lock()
+	n.ln = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if t, ok := c.(*net.TCPConn); ok {
+			t.SetNoDelay(true)
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.serveConn(wire.NewConn(c)); err != nil && !n.isClosed() {
+				n.trace("node %s: connection error: %v", n.name, err)
+			}
+		}()
+	}
+}
+
+// serveConn handles the server side of one channel connection.
+func (n *Node) serveConn(c *wire.Conn) error {
+	var h hello
+	if err := c.Recv(&h); err != nil {
+		c.Close()
+		return fmt.Errorf("handshake: %w", err)
+	}
+	hosted := n.Hosted(h.ToSub)
+	if hosted == nil {
+		_ = c.Send(helloAck{Error: fmt.Sprintf("node %s hosts no subsystem %q", n.name, h.ToSub)})
+		c.Close()
+		return fmt.Errorf("unknown subsystem %q", h.ToSub)
+	}
+	ep, err := hosted.Hub.NewEndpoint(h.FromSub, channel.Policy(h.Policy), h.Link, &connTransport{c: c})
+	if err != nil {
+		_ = c.Send(helloAck{Error: err.Error()})
+		c.Close()
+		return err
+	}
+	if hosted.OnChannel != nil {
+		hosted.OnChannel(ep)
+	}
+	if err := c.Send(helloAck{OK: true}); err != nil {
+		c.Close()
+		return err
+	}
+	n.addConn(c)
+	n.trace("node %s: accepted channel %s <- %s@%s", n.name, h.ToSub, h.FromSub, h.FromNode)
+	return n.pump(c, ep)
+}
+
+// Connect dials a remote node and opens a channel between the local
+// hosted subsystem and a subsystem hosted there. Both sides share
+// the policy and link model.
+func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, link channel.LinkModel) (*channel.Endpoint, error) {
+	hosted := n.Hosted(localSub)
+	if hosted == nil {
+		return nil, fmt.Errorf("node %s hosts no subsystem %q", n.name, localSub)
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send(hello{FromNode: n.name, FromSub: localSub, ToSub: remoteSub, Policy: uint8(policy), Link: link}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	var ack helloAck
+	if err := c.Recv(&ack); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("node %s: handshake with %s: %w", n.name, addr, err)
+	}
+	if !ack.OK {
+		c.Close()
+		return nil, fmt.Errorf("node %s: peer rejected channel: %s", n.name, ack.Error)
+	}
+	ep, err := hosted.Hub.NewEndpoint(remoteSub, policy, link, &connTransport{c: c})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	n.addConn(c)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if err := n.pump(c, ep); err != nil && !n.isClosed() {
+			n.trace("node %s: channel to %s: %v", n.name, remoteSub, err)
+		}
+	}()
+	n.trace("node %s: opened channel %s -> %s@%s", n.name, localSub, remoteSub, addr)
+	return ep, nil
+}
+
+// pump reads frames and hands them to the endpoint until the
+// connection drops.
+func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint) error {
+	for {
+		var f frame
+		if err := c.Recv(&f); err != nil {
+			return err
+		}
+		ep.OnMessage(f.Msg)
+		if f.Msg.Kind == channel.KindClose {
+			return nil
+		}
+	}
+}
+
+func (n *Node) addConn(c *wire.Conn) {
+	n.mu.Lock()
+	n.conns = append(n.conns, c)
+	n.mu.Unlock()
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// RunAll runs every hosted subsystem concurrently until the horizon
+// and returns the first error.
+func (n *Node) RunAll(until vtime.Time) error {
+	n.mu.Lock()
+	hosted := make([]*Hosted, 0, len(n.hosted))
+	for _, h := range n.hosted {
+		hosted = append(hosted, h)
+	}
+	n.mu.Unlock()
+	errs := make([]error, len(hosted))
+	var wg sync.WaitGroup
+	for i, h := range hosted {
+		wg.Add(1)
+		go func(i int, h *Hosted) {
+			defer wg.Done()
+			errs[i] = h.Sub.Run(until)
+		}(i, h)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// CloseChannels announces completion on every hosted hub (grants of
+// Infinity / Close messages) without tearing down the node.
+func (n *Node) CloseChannels() error {
+	n.mu.Lock()
+	hosted := make([]*Hosted, 0, len(n.hosted))
+	for _, h := range n.hosted {
+		hosted = append(hosted, h)
+	}
+	n.mu.Unlock()
+	var first error
+	for _, h := range hosted {
+		if err := h.Hub.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close tears the node down: listener, connections, hubs.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.ln
+	conns := n.conns
+	n.mu.Unlock()
+	_ = n.CloseChannels()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// connTransport adapts a wire.Conn to channel.Transport.
+type connTransport struct {
+	c *wire.Conn
+}
+
+func (t *connTransport) Send(m channel.Message) error { return t.c.Send(frame{Msg: m}) }
+func (t *connTransport) Close() error                 { return nil } // node owns the conn

@@ -1,0 +1,11 @@
+package proto
+
+import "repro/internal/signal"
+
+func wordOf(v uint32) signal.Word             { return signal.Word(v) }
+func lenCtl(n int64) signal.Control           { return signal.Control{Op: "len", Arg: n} }
+func ctlOf(op string, n int64) signal.Control { return signal.Control{Op: op, Arg: n} }
+func packetOf(b []byte) signal.Packet         { return signal.Packet(b) }
+func frameOf(b []byte, last bool) signal.Frame {
+	return signal.Frame{Payload: b, Last: last}
+}

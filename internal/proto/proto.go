@@ -1,0 +1,262 @@
+// Package proto is Pia's library of standard communication
+// protocols, each with several built-in detail levels. A single
+// logical action — "move this message to the peer" — has one
+// implementation per level:
+//
+//   - LevelHardware renders the transfer as individual bus cycles
+//     (one per byte), the most detailed and most expensive view;
+//   - LevelWord passes four-byte words, the paper's "word passage"
+//     transfer mode;
+//   - LevelPacket passes 1 KB packets, the paper's "packet passage".
+//
+// Behaviours pick the implementation by consulting their component's
+// current runlevel at each transfer — a safe point, since the
+// interface state is idle between transfers. That is what lets the
+// detail engine (package detail) retarget a running simulation.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/signal"
+	"repro/internal/vtime"
+)
+
+// Detail levels understood by the library. Components may define
+// additional private levels; unknown levels fall back to
+// LevelPacket.
+const (
+	LevelHardware = "hardwareLevel"
+	LevelWord     = "wordLevel"
+	LevelPacket   = "packetLevel"
+)
+
+// Config carries the per-unit costs a transfer charges against the
+// sender's local time, modelling the work the real interface does.
+type Config struct {
+	PerByte   vtime.Duration // hardware level: cost per bus cycle
+	PerWord   vtime.Duration // word level: cost per 4-byte word
+	PerPacket vtime.Duration // packet level: cost per packet
+	PacketLen int            // payload bytes per packet (default 1024)
+}
+
+// DefaultConfig matches the paper's experiment: 4-byte words, 1 KB
+// packets.
+var DefaultConfig = Config{
+	PerByte:   400 * vtime.Nanosecond,
+	PerWord:   800 * vtime.Nanosecond,
+	PerPacket: 20 * vtime.Microsecond,
+	PacketLen: 1024,
+}
+
+func (c Config) packetLen() int {
+	if c.PacketLen <= 0 {
+		return 1024
+	}
+	return c.PacketLen
+}
+
+// SendMessage transfers payload over the net attached to port, using
+// the implementation selected by level. The transfer is framed so
+// that an Assembler on the receiving side can reconstruct it at any
+// level: a length header precedes word- and hardware-level streams,
+// and packet-level transfers use signal.Frame with a Last marker.
+// It returns the number of net drives performed.
+func SendMessage(p *core.Proc, port string, payload []byte, level string, cfg Config) int {
+	switch level {
+	case LevelHardware:
+		return sendBytes(p, port, payload, cfg)
+	case LevelWord:
+		return sendWords(p, port, payload, cfg)
+	default:
+		return sendPackets(p, port, payload, cfg)
+	}
+}
+
+// sendBytes renders the transfer as one bus cycle per byte.
+func sendBytes(p *core.Proc, port string, payload []byte, cfg Config) int {
+	p.Send(port, signal.Control{Op: "len", Arg: int64(len(payload))})
+	n := 1
+	for i, b := range payload {
+		p.Advance(cfg.PerByte)
+		p.Send(port, signal.BusCycle{Addr: uint32(i), Data: signal.Word(b), Write: true})
+		n++
+	}
+	return n
+}
+
+// sendWords passes individual four-byte words across the net.
+func sendWords(p *core.Proc, port string, payload []byte, cfg Config) int {
+	p.Send(port, signal.Control{Op: "len", Arg: int64(len(payload))})
+	n := 1
+	for i := 0; i < len(payload); i += 4 {
+		var w [4]byte
+		copy(w[:], payload[i:])
+		p.Advance(cfg.PerWord)
+		p.Send(port, signal.Word(binary.LittleEndian.Uint32(w[:])))
+		n++
+	}
+	return n
+}
+
+// sendPackets sends the data in packets (default 1 KB).
+func sendPackets(p *core.Proc, port string, payload []byte, cfg Config) int {
+	plen := cfg.packetLen()
+	n := 0
+	if len(payload) == 0 {
+		p.Advance(cfg.PerPacket)
+		p.Send(port, signal.Frame{Seq: 0, Last: true})
+		return 1
+	}
+	seq := uint32(0)
+	for off := 0; off < len(payload); off += plen {
+		end := off + plen
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, payload[off:end])
+		p.Advance(cfg.PerPacket)
+		p.Send(port, signal.Frame{Seq: seq, Payload: chunk, Last: end == len(payload)})
+		seq++
+		n++
+	}
+	return n
+}
+
+// Assembler reconstructs messages from transfers at any detail
+// level. Feed it every message received on the data port; when a
+// complete payload is available it is returned with done=true.
+type Assembler struct {
+	buf      []byte
+	expected int64 // -1: idle, >=0: word/byte stream in progress
+	inFrame  bool
+
+	// Messages counts completed payloads (diagnostics).
+	Messages int64
+}
+
+// NewAssembler creates an idle assembler.
+func NewAssembler() *Assembler { return &Assembler{expected: -1} }
+
+// Feed consumes one received value. It returns the completed payload
+// once the transfer finishes.
+func (a *Assembler) Feed(v any) ([]byte, bool, error) {
+	switch x := v.(type) {
+	case signal.Control:
+		if x.Op != "len" {
+			return nil, false, nil // other control traffic is not ours
+		}
+		if a.expected >= 0 || a.inFrame {
+			return nil, false, fmt.Errorf("proto: length header inside a transfer")
+		}
+		a.expected = x.Arg
+		a.buf = a.buf[:0]
+		if a.expected == 0 {
+			return a.finish()
+		}
+		return nil, false, nil
+	case signal.BusCycle:
+		if a.expected < 0 {
+			return nil, false, fmt.Errorf("proto: bus cycle without length header")
+		}
+		if !x.Write {
+			return nil, false, nil
+		}
+		a.buf = append(a.buf, byte(x.Data))
+		if int64(len(a.buf)) >= a.expected {
+			return a.finish()
+		}
+		return nil, false, nil
+	case signal.Word:
+		if a.expected < 0 {
+			return nil, false, fmt.Errorf("proto: word without length header")
+		}
+		var w [4]byte
+		binary.LittleEndian.PutUint32(w[:], uint32(x))
+		need := a.expected - int64(len(a.buf))
+		if need > 4 {
+			need = 4
+		}
+		a.buf = append(a.buf, w[:need]...)
+		if int64(len(a.buf)) >= a.expected {
+			return a.finish()
+		}
+		return nil, false, nil
+	case signal.Frame:
+		if a.expected >= 0 {
+			return nil, false, fmt.Errorf("proto: frame inside a word/byte transfer")
+		}
+		a.inFrame = true
+		a.buf = append(a.buf, x.Payload...)
+		if x.Last {
+			return a.finish()
+		}
+		return nil, false, nil
+	case signal.Packet:
+		// A bare packet is a complete message.
+		a.Messages++
+		out := make([]byte, len(x))
+		copy(out, x)
+		return out, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+func (a *Assembler) finish() ([]byte, bool, error) {
+	out := make([]byte, len(a.buf))
+	copy(out, a.buf)
+	a.buf = a.buf[:0]
+	a.expected = -1
+	a.inFrame = false
+	a.Messages++
+	return out, true, nil
+}
+
+// Reset drops any partial transfer (used after a rollback when the
+// assembler is not part of saved state).
+func (a *Assembler) Reset() {
+	a.buf = a.buf[:0]
+	a.expected = -1
+	a.inFrame = false
+}
+
+// ReceiveMessage blocks on the port until one complete message has
+// been assembled, at whatever detail level the sender used. It
+// returns ok=false if the simulation ends first.
+func ReceiveMessage(p *core.Proc, port string, a *Assembler) ([]byte, bool, error) {
+	for {
+		m, ok := p.Recv(port)
+		if !ok {
+			return nil, false, nil
+		}
+		payload, done, err := a.Feed(m.Value)
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			return payload, true, nil
+		}
+	}
+}
+
+// Drives estimates the number of net drives a payload costs at a
+// level — the quantity the remote experiments count, since each
+// drive becomes one channel message.
+func Drives(payloadLen int, level string, cfg Config) int {
+	switch level {
+	case LevelHardware:
+		return 1 + payloadLen
+	case LevelWord:
+		return 1 + (payloadLen+3)/4
+	default:
+		n := (payloadLen + cfg.packetLen() - 1) / cfg.packetLen()
+		if n == 0 {
+			n = 1
+		}
+		return n
+	}
+}

@@ -1,0 +1,298 @@
+// Package snapshot implements distributed checkpoints for Pia using
+// the Chandy-Lamport algorithm over the FIFO inter-subsystem
+// channels, plus the coordinated restore that optimistic channels
+// fall back on when a straggler arrives.
+//
+// After a subsystem receives (or generates) a checkpoint request, it
+// performs a local checkpoint and transmits a mark on all of its
+// outgoing channels. Upon receipt of a mark, a subsystem immediately
+// performs a local checkpoint, before receiving anything else on that
+// same channel. Each mark carries a tag (snapshot id), and a
+// subsystem checkpoints only once per tag, so duplicate marks are
+// ignored — exactly the paper's §2.2.4. The messages recorded on a
+// channel between the local checkpoint and the arrival of the peer's
+// mark are the channel's in-flight state; a coordinated restore
+// replays them after rewinding every subsystem to its tagged local
+// checkpoint.
+//
+// All agent state is touched only on the subsystem's scheduler
+// goroutine: marks, data recording, captures and restores are
+// serialized through the channel ingress queue, which preserves
+// per-channel FIFO order — the property Chandy-Lamport requires.
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// Snapshot is one subsystem's completed share of a distributed
+// snapshot: its local checkpoint plus the in-flight messages captured
+// on each incoming channel.
+type Snapshot struct {
+	Tag        string
+	Checkpoint *core.CheckpointSet
+	InFlight   map[string][]channel.Message // peer -> messages
+}
+
+// Messages returns the total number of captured in-flight messages.
+func (s *Snapshot) Messages() int {
+	n := 0
+	for _, ms := range s.InFlight {
+		n += len(ms)
+	}
+	return n
+}
+
+// state tracks an in-progress snapshot.
+type state struct {
+	tag        string
+	checkpoint *core.CheckpointSet
+	pending    map[string]bool // peers whose mark is still missing
+	inflight   map[string][]channel.Message
+}
+
+// Agent coordinates distributed snapshots and restores for one
+// subsystem. Create it after all channel endpoints exist.
+type Agent struct {
+	sub *core.Subsystem
+	hub *channel.Hub
+
+	states    map[string]*state
+	done      map[string]*Snapshot
+	doneOrder []string
+	restored  map[string]bool // restore tokens already executed
+	initSeq   int
+	rstSeq    int
+	err       error
+
+	// OnComplete fires (on the scheduler goroutine) when this
+	// subsystem's share of a snapshot is complete.
+	OnComplete func(*Snapshot)
+	// OnRestore fires after a coordinated restore finished locally.
+	OnRestore func(tag string)
+}
+
+// NewAgent attaches an agent to the hub's endpoints.
+func NewAgent(hub *channel.Hub) *Agent {
+	a := &Agent{
+		sub:      hub.Subsystem(),
+		hub:      hub,
+		states:   make(map[string]*state),
+		done:     make(map[string]*Snapshot),
+		restored: make(map[string]bool),
+	}
+	for _, ep := range hub.Endpoints() {
+		a.attach(ep)
+	}
+	return a
+}
+
+func (a *Agent) attach(ep *channel.Endpoint) {
+	e := ep
+	e.SetMarkHandler(func(tag string) { a.onMark(tag, e) })
+	e.SetRestoreHandler(func(token string) { a.execRestore(token) })
+}
+
+// UseSnapshotsForRollback makes optimistic stragglers rewind to this
+// subsystem's portion of the latest completed coordinated snapshot at
+// or before the straggler time, replaying the in-flight messages the
+// snapshot captured. The rollback stays receiver-local — the paper's
+// optimistic-channel semantics — so the straggler itself is
+// redelivered afterwards. (A receiver-local rollback can orphan
+// messages the receiver emitted in its discarded future; that is the
+// paper's "more expensive restores if optimistic channels are poorly
+// placed". A fully coordinated restore is available explicitly via
+// RestoreTag.) Falls back to plain local checkpoints when no snapshot
+// is old enough.
+func (a *Agent) UseSnapshotsForRollback() {
+	for _, ep := range a.hub.Endpoints() {
+		a.setStraggler(ep)
+	}
+}
+
+func (a *Agent) setStraggler(ep *channel.Endpoint) {
+	ep.SetStragglerHandler(func(t vtime.Time) bool {
+		if snap := a.LatestBefore(t); snap != nil {
+			if err := a.restoreLocal(snap); err == nil {
+				return true
+			}
+		}
+		// No coordinated snapshot available; fall back to a local
+		// rollback. Either way the message must be redelivered.
+		a.sub.RequestRollback(t)
+		return true
+	})
+}
+
+// restoreLocal rewinds only this subsystem to its share of the
+// snapshot and replays the captured in-flight messages. Runs on the
+// scheduler goroutine.
+func (a *Agent) restoreLocal(snap *Snapshot) error {
+	if err := a.sub.RestoreCheckpoint(snap.Checkpoint); err != nil {
+		if a.err == nil {
+			a.err = fmt.Errorf("snapshot %s: local restore: %w", snap.Tag, err)
+		}
+		return err
+	}
+	a.replay(snap)
+	if a.OnRestore != nil {
+		a.OnRestore(snap.Tag)
+	}
+	return nil
+}
+
+// replay re-injects the snapshot's captured in-flight messages.
+func (a *Agent) replay(snap *Snapshot) {
+	for _, msgs := range snap.InFlight {
+		for _, m := range msgs {
+			if m.Kind != channel.KindData {
+				continue
+			}
+			_ = a.sub.DriveNow(m.Net, m.Source, m.Time, m.Value)
+		}
+	}
+}
+
+// Err returns the first error the agent hit (e.g. an
+// uncheckpointable component).
+func (a *Agent) Err() error { return a.err }
+
+// Initiate starts a distributed snapshot and returns its tag. The
+// snapshot completes asynchronously; watch OnComplete or Completed.
+func (a *Agent) Initiate() string {
+	a.initSeq++
+	tag := fmt.Sprintf("snap:%s:%d", a.sub.Name(), a.initSeq)
+	a.sub.InjectFunc(func() bool {
+		a.onMark(tag, nil)
+		return false
+	})
+	return tag
+}
+
+// Completed returns the finished snapshot for a tag, or nil.
+func (a *Agent) Completed(tag string) *Snapshot { return a.done[tag] }
+
+// LatestBefore returns the most recent completed snapshot whose cut
+// time is <= t, or nil.
+func (a *Agent) LatestBefore(t vtime.Time) *Snapshot {
+	for i := len(a.doneOrder) - 1; i >= 0; i-- {
+		s := a.done[a.doneOrder[i]]
+		if s.Checkpoint != nil && s.Checkpoint.Time <= t {
+			return s
+		}
+	}
+	return nil
+}
+
+// onMark handles a mark (from == nil means self-initiated). Runs on
+// the scheduler goroutine.
+func (a *Agent) onMark(tag string, from *channel.Endpoint) {
+	st := a.states[tag]
+	if st == nil {
+		if _, already := a.done[tag]; already {
+			return // stale duplicate mark for a finished snapshot
+		}
+		// First mark for this tag: checkpoint locally before
+		// receiving anything else, then relay marks everywhere and
+		// start recording the other channels.
+		cs, err := a.sub.CaptureNow(tag)
+		if err != nil {
+			if a.err == nil {
+				a.err = fmt.Errorf("snapshot %s: %w", tag, err)
+			}
+			return
+		}
+		st = &state{
+			tag:        tag,
+			checkpoint: cs,
+			pending:    make(map[string]bool),
+			inflight:   make(map[string][]channel.Message),
+		}
+		a.states[tag] = st
+		for _, ep := range a.hub.Endpoints() {
+			ep.SendMark(tag)
+			if from != nil && ep.Peer() == from.Peer() {
+				// The channel the mark arrived on has an empty
+				// in-flight state by definition.
+				st.inflight[ep.Peer()] = nil
+				continue
+			}
+			st.pending[ep.Peer()] = true
+			ep.SetRecording(true)
+		}
+	} else if from != nil && st.pending[from.Peer()] {
+		// Subsequent mark: the in-flight set of that channel is
+		// whatever was recorded since our checkpoint.
+		st.inflight[from.Peer()] = from.TakeRecorded()
+		delete(st.pending, from.Peer())
+	}
+	if len(st.pending) == 0 {
+		delete(a.states, tag)
+		snap := &Snapshot{Tag: tag, Checkpoint: st.checkpoint, InFlight: st.inflight}
+		a.done[tag] = snap
+		a.doneOrder = append(a.doneOrder, tag)
+		if a.OnComplete != nil {
+			a.OnComplete(snap)
+		}
+	}
+}
+
+// RestoreTag initiates a coordinated restore of the tagged snapshot
+// across every subsystem. Safe from any goroutine.
+func (a *Agent) RestoreTag(tag string) {
+	token := a.newToken(tag)
+	a.sub.InjectFunc(func() bool {
+		a.doRestore(token)
+		return false
+	})
+}
+
+func (a *Agent) newToken(tag string) string {
+	a.rstSeq++
+	return fmt.Sprintf("%s|%s#%d", tag, a.sub.Name(), a.rstSeq)
+}
+
+// execRestore handles an incoming restore order (scheduler
+// goroutine).
+func (a *Agent) execRestore(token string) { a.doRestore(token) }
+
+// doRestore executes a restore token locally and forwards it.
+func (a *Agent) doRestore(token string) {
+	if a.restored[token] {
+		return
+	}
+	a.restored[token] = true
+	tag := token
+	for i := 0; i < len(token); i++ {
+		if token[i] == '|' {
+			tag = token[:i]
+			break
+		}
+	}
+	snap := a.done[tag]
+	if snap == nil {
+		if a.err == nil {
+			a.err = fmt.Errorf("snapshot: restore of unknown tag %q", tag)
+		}
+		return
+	}
+	for _, ep := range a.hub.Endpoints() {
+		ep.SendRestore(token)
+	}
+	if err := a.sub.RestoreCheckpoint(snap.Checkpoint); err != nil {
+		if a.err == nil {
+			a.err = fmt.Errorf("snapshot %s: restore: %w", tag, err)
+		}
+		return
+	}
+	// Replay the captured in-flight messages into the restored
+	// state.
+	a.replay(snap)
+	if a.OnRestore != nil {
+		a.OnRestore(tag)
+	}
+}

@@ -1,0 +1,131 @@
+// Package wire implements the framing Pia nodes speak over TCP:
+// length-prefixed gob frames. Each frame is a gob-encoded value
+// preceded by a big-endian uint32 length, which keeps the stream
+// self-describing, lets both sides count bytes, and makes partial
+// reads detectable.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxFrame bounds a single frame; anything larger is a protocol
+// error, not a legitimate simulation message.
+const MaxFrame = 64 << 20
+
+// Conn frames gob values over a byte stream. Send is safe for
+// concurrent use; Recv must be called from a single reader.
+type Conn struct {
+	rwc io.ReadWriteCloser
+
+	wmu  sync.Mutex
+	enc  *gob.Encoder
+	wbuf bytes.Buffer
+
+	dec  *gob.Decoder
+	rbuf frameReader
+
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
+}
+
+// frameReader feeds the gob decoder exactly one frame at a time.
+type frameReader struct {
+	src io.Reader
+	buf []byte
+	pos int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.pos >= len(f.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+// NewConn wraps a stream (usually a *net.TCPConn).
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	c := &Conn{rwc: rwc}
+	return c
+}
+
+// Send writes one frame containing v.
+func (c *Conn) Send(v any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf.Reset()
+	if err := gob.NewEncoder(&c.wbuf).Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if c.wbuf.Len() > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", c.wbuf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(c.wbuf.Len()))
+	if _, err := c.rwc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.rwc.Write(c.wbuf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	c.bytesOut.Add(int64(4 + c.wbuf.Len()))
+	c.framesOut.Add(1)
+	return nil
+}
+
+// Recv reads one frame into v.
+func (c *Conn) Recv(v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rwc, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	if cap(c.rbuf.buf) < int(n) {
+		c.rbuf.buf = make([]byte, n)
+	}
+	c.rbuf.buf = c.rbuf.buf[:n]
+	c.rbuf.pos = 0
+	if _, err := io.ReadFull(c.rwc, c.rbuf.buf); err != nil {
+		return fmt.Errorf("wire: read body: %w", err)
+	}
+	if err := gob.NewDecoder(&c.rbuf).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	c.bytesIn.Add(int64(4 + n))
+	c.framesIn.Add(1)
+	return nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rwc.Close() }
+
+// Stats returns (bytes in, bytes out, frames in, frames out).
+func (c *Conn) Stats() (bi, bo, fi, fo int64) {
+	return c.bytesIn.Load(), c.bytesOut.Load(), c.framesIn.Load(), c.framesOut.Load()
+}
+
+// Dial connects to a Pia node.
+func Dial(addr string) (*Conn, error) {
+	tc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	if t, ok := tc.(*net.TCPConn); ok {
+		t.SetNoDelay(true)
+	}
+	return NewConn(tc), nil
+}

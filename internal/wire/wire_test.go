@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// duplex is an in-memory ReadWriteCloser pair.
+type duplex struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (d duplex) Read(p []byte) (int, error)  { return d.r.Read(p) }
+func (d duplex) Write(p []byte) (int, error) { return d.w.Write(p) }
+func (d duplex) Close() error                { d.r.Close(); return d.w.Close() }
+
+func pipePair() (duplex, duplex) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	return duplex{ar, aw}, duplex{br, bw}
+}
+
+type payload struct {
+	N int
+	S string
+	B []byte
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	ca, cb := NewConn(a), NewConn(b)
+	want := payload{N: 42, S: "hello", B: bytes.Repeat([]byte{7}, 1000)}
+	done := make(chan error, 1)
+	go func() { done <- ca.Send(want) }()
+	var got payload
+	if err := cb.Recv(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.S != want.S || !bytes.Equal(got.B, want.B) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	bi, _, fi, _ := cb.Stats()
+	if fi != 1 || bi <= 0 {
+		t.Fatalf("stats: frames=%d bytes=%d", fi, bi)
+	}
+}
+
+func TestManyFramesInOrder(t *testing.T) {
+	a, b := pipePair()
+	ca, cb := NewConn(a), NewConn(b)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := ca.Send(payload{N: i}); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var got payload
+		if err := cb.Recv(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got.N != i {
+			t.Fatalf("frame %d carried %d", i, got.N)
+		}
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	a, b := pipePair()
+	ca, cb := NewConn(a), NewConn(b)
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ca.Send(payload{N: s*1000 + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < senders*per; i++ {
+		var got payload
+		if err := cb.Recv(&got); err != nil {
+			t.Fatal(err)
+		}
+		if seen[got.N] {
+			t.Fatalf("duplicate frame %d (interleaved writes?)", got.N)
+		}
+		seen[got.N] = true
+	}
+	wg.Wait()
+}
+
+func TestRecvOnClosed(t *testing.T) {
+	a, b := pipePair()
+	ca, cb := NewConn(a), NewConn(b)
+	ca.Close()
+	var got payload
+	if err := cb.Recv(&got); err == nil {
+		t.Fatal("Recv on closed pipe succeeded")
+	}
+}
+
+func TestDialRealTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan payload, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var got payload
+		if err := NewConn(c).Recv(&got); err == nil {
+			done <- got
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(payload{N: 9, S: "tcp"}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got.N != 9 || got.S != "tcp" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDialError(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,149 @@
+// Package wubbleu implements the WubbleU application, the suggested
+// benchmark for embedded system design tools the paper evaluates on:
+// a hand-held Web browser — a hand-held unit plus a wireless
+// connection to a dedicated server. The module set follows the
+// paper's Fig. 5 communication flow graph (UI, handwriting
+// recognition, browser control, HTML parser, JPEG decoder, cache,
+// protocol stack / network interface, server), and the architecture
+// builder follows Fig. 6: every process mapped onto the embedded CPU
+// except the network interface, which lives on the cellular
+// communication ASIC that transfers packets to the system through
+// DMA — the chip that is the candidate for remote operation.
+package wubbleu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// Page layout: a deterministic synthetic web page standing in for the
+// 66 KB Pia home page ("approximately 66KB of data, including
+// graphics"). The page is a header, an HTML body, and a sequence of
+// embedded images:
+//
+//	[4B magic][4B htmlLen][4B imageCount] html... { [4B imgLen] img... }*
+const pageMagic = 0x57754255 // "WuBU"
+
+// DefaultPageSize matches the paper's page.
+const DefaultPageSize = 66 * 1024
+
+// DefaultImageCount is how many graphics the synthetic page embeds.
+const DefaultImageCount = 4
+
+// Page is a parsed page.
+type Page struct {
+	HTML   []byte
+	Images [][]byte
+}
+
+// TotalBytes is the encoded size.
+func (p *Page) TotalBytes() int {
+	n := 12 + len(p.HTML)
+	for _, img := range p.Images {
+		n += 4 + len(img)
+	}
+	return n
+}
+
+// GenPage deterministically generates a page of exactly total bytes
+// with the given number of embedded images (graphics take roughly
+// two thirds of the page, as on a graphics-heavy 1998 home page).
+func GenPage(total, images int) ([]byte, error) {
+	overhead := 12 + 4*images
+	if total < overhead+images+1 {
+		return nil, fmt.Errorf("wubbleu: page of %d bytes cannot hold %d images", total, images)
+	}
+	payload := total - overhead
+	imgBytes := payload * 2 / 3
+	htmlBytes := payload - imgBytes
+
+	rng := rand.New(rand.NewSource(0x77754255))
+	html := make([]byte, htmlBytes)
+	fill := []byte("<p>the pia home page, rendered by wubbleu </p>")
+	for i := range html {
+		html[i] = fill[i%len(fill)]
+	}
+	out := make([]byte, 0, total)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pageMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(htmlBytes))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(images))
+	out = append(out, hdr[:]...)
+	out = append(out, html...)
+	rem := imgBytes
+	for i := 0; i < images; i++ {
+		sz := rem / (images - i)
+		img := make([]byte, sz)
+		rng.Read(img)
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(sz))
+		out = append(out, l[:]...)
+		out = append(out, img...)
+		rem -= sz
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("wubbleu: generated %d bytes, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+// ParsePage decodes a generated page.
+func ParsePage(data []byte) (*Page, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("wubbleu: page too short (%d bytes)", len(data))
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != pageMagic {
+		return nil, fmt.Errorf("wubbleu: bad page magic")
+	}
+	htmlLen := int(binary.LittleEndian.Uint32(data[4:]))
+	images := int(binary.LittleEndian.Uint32(data[8:]))
+	pos := 12
+	if pos+htmlLen > len(data) {
+		return nil, fmt.Errorf("wubbleu: truncated html")
+	}
+	p := &Page{HTML: data[pos : pos+htmlLen]}
+	pos += htmlLen
+	for i := 0; i < images; i++ {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("wubbleu: truncated image header %d", i)
+		}
+		sz := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if pos+sz > len(data) {
+			return nil, fmt.Errorf("wubbleu: truncated image %d", i)
+		}
+		p.Images = append(p.Images, data[pos:pos+sz])
+		pos += sz
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("wubbleu: %d trailing bytes", len(data)-pos)
+	}
+	return p, nil
+}
+
+// Store is the dedicated server's page store.
+type Store struct {
+	pages map[string][]byte
+}
+
+// NewStore creates a store with the default page published at
+// "http://www.cs.washington.edu/research/chinook/pia.html".
+func NewStore() (*Store, error) {
+	s := &Store{pages: make(map[string][]byte)}
+	page, err := GenPage(DefaultPageSize, DefaultImageCount)
+	if err != nil {
+		return nil, err
+	}
+	s.pages[DefaultURL] = page
+	return s, nil
+}
+
+// DefaultURL is the page the experiment loads.
+const DefaultURL = "http://www.cs.washington.edu/research/chinook/pia.html"
+
+// Put publishes a page.
+func (s *Store) Put(url string, data []byte) { s.pages[url] = data }
+
+// Get fetches a page; nil when absent.
+func (s *Store) Get(url string) []byte { return s.pages[url] }

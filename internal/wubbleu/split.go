@@ -1,0 +1,129 @@
+package wubbleu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The split installers build each half of the remote WubbleU
+// configuration directly onto a raw subsystem, for deployments where
+// the two halves live in different processes (cmd/pianode serves the
+// modem site; cmd/wubbleu runs the handheld side and dials it). The
+// "dma" net is the fragment boundary: each side creates its own
+// fragment and binds it to the channel endpoint.
+
+// HandheldHalf is the CPU side of the split design.
+type HandheldHalf struct {
+	UI    *UI
+	Recog *Recognizer
+	Brow  *Browser
+	Cache *Cache
+	JPEG  *JPEGDecoder
+}
+
+// InstallHandheld builds the handheld subsystem: every module except
+// the network interface, plus the local fragment of the "dma" net.
+func InstallHandheld(sub *core.Subsystem, cfg Config) (*HandheldHalf, error) {
+	h := &HandheldHalf{
+		UI:    &UI{Cfg: cfg},
+		Recog: &Recognizer{Cfg: cfg},
+		Brow:  &Browser{Cfg: cfg},
+		Cache: &Cache{},
+		JPEG:  &JPEGDecoder{Cfg: cfg},
+	}
+	type compDef struct {
+		name  string
+		bhv   core.Behavior
+		ports []string
+	}
+	comps := []compDef{
+		{"ui", h.UI, []string{"ink", "screen"}},
+		{"recog", h.Recog, []string{"ink", "url"}},
+		{"browser", h.Brow, []string{"url", "screen", "cache", "jpeg", "dma"}},
+		{"cache", h.Cache, []string{"bus"}},
+		{"jpeg", h.JPEG, []string{"bus"}},
+	}
+	for _, cd := range comps {
+		c, err := sub.NewComponent(cd.name, cd.bhv)
+		if err != nil {
+			return nil, err
+		}
+		for _, pn := range cd.ports {
+			if _, err := c.AddPort(pn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nets := []struct {
+		name  string
+		ports [][2]string
+	}{
+		{"ink", [][2]string{{"ui", "ink"}, {"recog", "ink"}}},
+		{"url", [][2]string{{"recog", "url"}, {"browser", "url"}}},
+		{"screen", [][2]string{{"browser", "screen"}, {"ui", "screen"}}},
+		{"cachebus", [][2]string{{"browser", "cache"}, {"cache", "bus"}}},
+		{"jpegbus", [][2]string{{"browser", "jpeg"}, {"jpeg", "bus"}}},
+		{"dma", [][2]string{{"browser", "dma"}}},
+	}
+	for _, nd := range nets {
+		n, err := sub.NewNet(nd.name, 0)
+		if err != nil {
+			return nil, err
+		}
+		ports := make([]*core.Port, 0, len(nd.ports))
+		for _, pr := range nd.ports {
+			ports = append(ports, sub.Component(pr[0]).Port(pr[1]))
+		}
+		if err := sub.Connect(n, ports...); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// ModemHalf is the network-interface side of the split design.
+type ModemHalf struct {
+	ASIC   *ASIC
+	Server *Server
+}
+
+// InstallModemSite builds the modem subsystem: the cellular ASIC and
+// the dedicated server behind its wireless link, plus the remote
+// fragment of the "dma" net.
+func InstallModemSite(sub *core.Subsystem, cfg Config) (*ModemHalf, error) {
+	m := &ModemHalf{
+		ASIC:   &ASIC{Cfg: cfg},
+		Server: &Server{Cfg: cfg},
+	}
+	ac, err := sub.NewComponent("asic", m.ASIC)
+	if err != nil {
+		return nil, err
+	}
+	ac.AddPort("dma")
+	ac.AddPort("radio")
+	ac.SetRunlevel(cfg.Level)
+	sc, err := sub.NewComponent("server", m.Server)
+	if err != nil {
+		return nil, err
+	}
+	sc.AddPort("radio")
+	dma, err := sub.NewNet("dma", 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := sub.Connect(dma, ac.Port("dma")); err != nil {
+		return nil, err
+	}
+	radio, err := sub.NewNet("radio", 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := sub.Connect(radio, ac.Port("radio"), sc.Port("radio")); err != nil {
+		return nil, err
+	}
+	if cfg.Level == "" {
+		return nil, fmt.Errorf("wubbleu: modem site needs an initial detail level")
+	}
+	return m, nil
+}

@@ -1,0 +1,74 @@
+package wubbleu
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// TestSplitHalvesInterop wires InstallHandheld and InstallModemSite
+// through an in-process channel — exactly what cmd/pianode and
+// cmd/wubbleu do across two OS processes — and loads a page.
+func TestSplitHalvesInterop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 8 * 1024
+	cfg.Images = 2
+
+	hh := core.NewSubsystem("handheld")
+	half, err := InstallHandheld(hh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := core.NewSubsystem("modemsite")
+	modem, err := InstallModemSite(mm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h1, h2 := channel.NewHub(hh), channel.NewHub(mm)
+	ep1, ep2, err := channel.Connect(h1, h2, channel.Conservative, channel.LoopbackLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.BindNet(hh.Net("dma"), "dma"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep2.BindNet(mm.Net("dma"), "dma"); err != nil {
+		t.Fatal(err)
+	}
+
+	horizon := vtime.Time(10 * vtime.Second)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = hh.Run(horizon) }()
+	go func() { defer wg.Done(); errs[1] = mm.Run(horizon) }()
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("runs: %v / %v", errs[0], errs[1])
+	}
+	if half.UI.Done != 1 {
+		t.Fatalf("loads = %d", half.UI.Done)
+	}
+	if half.UI.Bytes[0] != cfg.PageSize {
+		t.Fatalf("page bytes = %d", half.UI.Bytes[0])
+	}
+	if modem.Server.Served != 1 || modem.ASIC.Transfers != 1 {
+		t.Fatalf("modem side: served=%d transfers=%d", modem.Server.Served, modem.ASIC.Transfers)
+	}
+	if half.JPEG.Decoded != 2 {
+		t.Fatalf("decoded = %d", half.JPEG.Decoded)
+	}
+}
+
+func TestInstallModemSiteNeedsLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Level = ""
+	mm := core.NewSubsystem("m")
+	if _, err := InstallModemSite(mm, cfg); err == nil {
+		t.Fatal("empty level accepted")
+	}
+}

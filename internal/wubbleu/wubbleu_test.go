@@ -1,0 +1,227 @@
+package wubbleu
+
+import (
+	"testing"
+
+	pia "repro"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+func TestGenPageRoundTrip(t *testing.T) {
+	for _, total := range []int{1024, DefaultPageSize, 200_000} {
+		data, err := GenPage(total, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != total {
+			t.Fatalf("page size %d, want %d", len(data), total)
+		}
+		p, err := ParsePage(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Images) != 4 {
+			t.Fatalf("images = %d", len(p.Images))
+		}
+		if p.TotalBytes() != total {
+			t.Fatalf("TotalBytes = %d, want %d", p.TotalBytes(), total)
+		}
+	}
+	if _, err := GenPage(10, 4); err == nil {
+		t.Fatal("tiny page accepted")
+	}
+}
+
+func TestParsePageErrors(t *testing.T) {
+	if _, err := ParsePage([]byte{1, 2}); err == nil {
+		t.Fatal("short page accepted")
+	}
+	data, _ := GenPage(2048, 2)
+	data[0] ^= 0xff
+	if _, err := ParsePage(data); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	data[0] ^= 0xff
+	if _, err := ParsePage(data[:100]); err == nil {
+		t.Fatal("truncated page accepted")
+	}
+}
+
+func TestStore(t *testing.T) {
+	s, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(DefaultURL); len(got) != DefaultPageSize {
+		t.Fatalf("default page is %d bytes", len(got))
+	}
+	s.Put("x", []byte{1})
+	if len(s.Get("x")) != 1 || s.Get("nope") != nil {
+		t.Fatal("Put/Get broken")
+	}
+}
+
+// runLocal builds and runs a local WubbleU and returns the app.
+func runLocal(t *testing.T, cfg Config) *App {
+	t.Helper()
+	b := pia.NewSystem("wubbleu")
+	app, err := Install(b, cfg, LocalPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(pia.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestLocalPageLoadPacketLevel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 8 * 1024 // keep the unit test fast
+	cfg.Images = 2
+	app := runLocal(t, cfg)
+	res := app.Result()
+	if res.Loads != 1 {
+		t.Fatalf("loads = %d", res.Loads)
+	}
+	if res.PageBytes[0] != cfg.PageSize {
+		t.Fatalf("page bytes = %d, want %d", res.PageBytes[0], cfg.PageSize)
+	}
+	if app.JPEG.Decoded != 2 || app.Server.Served != 1 || app.Recog.Recognized != 1 {
+		t.Fatalf("module counters: jpeg=%d server=%d recog=%d", app.JPEG.Decoded, app.Server.Served, app.Recog.Recognized)
+	}
+	if res.LoadVirt[0] <= 0 {
+		t.Fatal("non-positive load time")
+	}
+	// 8 KB at 1 Mbps is at least 64 ms of airtime.
+	if res.LoadVirt[0] < 64*vtime.Millisecond {
+		t.Fatalf("load time %v below radio physics", res.LoadVirt[0])
+	}
+	if res.DMADrives != proto.Drives(cfg.PageSize, proto.LevelPacket, cfg.Proto) {
+		t.Fatalf("dma drives = %d", res.DMADrives)
+	}
+}
+
+func TestWordLevelCostsMoreVirtualTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 8 * 1024
+	cfg.Images = 1
+	word := cfg
+	word.Level = proto.LevelWord
+	packetApp := runLocal(t, cfg)
+	wordApp := runLocal(t, word)
+	pr, wr := packetApp.Result(), wordApp.Result()
+	if wr.DMADrives <= pr.DMADrives {
+		t.Fatalf("word drives %d <= packet drives %d", wr.DMADrives, pr.DMADrives)
+	}
+	if wr.LoadVirt[0] <= pr.LoadVirt[0] {
+		t.Fatalf("word load %v <= packet load %v", wr.LoadVirt[0], pr.LoadVirt[0])
+	}
+}
+
+func TestSecondLoadHitsCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 4 * 1024
+	cfg.Images = 1
+	cfg.Loads = 2
+	app := runLocal(t, cfg)
+	res := app.Result()
+	if res.Loads != 2 {
+		t.Fatalf("loads = %d", res.Loads)
+	}
+	if res.CacheHits != 1 || app.Cache.Misses != 1 {
+		t.Fatalf("cache hits=%d misses=%d", res.CacheHits, app.Cache.Misses)
+	}
+	if app.Server.Served != 1 {
+		t.Fatalf("server served %d, want 1 (second load cached)", app.Server.Served)
+	}
+	// The cached load skips the radio transfer, so it is strictly
+	// faster; recognition/decode/render costs dominate both, so the
+	// gap equals roughly the network time.
+	if res.LoadVirt[1] >= res.LoadVirt[0] {
+		t.Fatalf("cached load %v not faster than network load %v", res.LoadVirt[1], res.LoadVirt[0])
+	}
+}
+
+func TestRemotePlacementSplitsDMA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageSize = 4 * 1024
+	cfg.Images = 1
+	b := pia.NewSystem("wubbleu-remote")
+	app, err := Install(b, cfg, RemotePlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetDefaultChannel(pia.Conservative, pia.LoopbackLink)
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(pia.Time(pia.Seconds(30))); err != nil {
+		t.Fatal(err)
+	}
+	res := app.Result()
+	if res.Loads != 1 {
+		t.Fatalf("remote load did not complete: %+v", res)
+	}
+	// The dma net exists as a fragment on both subsystems.
+	if sim.Subsystem("handheld").Net("dma") == nil || sim.Subsystem("modemsite").Net("dma") == nil {
+		t.Fatal("dma net not split")
+	}
+	// The radio net stays entirely on the modem site.
+	if sim.Subsystem("handheld").Net("radio") != nil {
+		t.Fatal("radio net leaked onto the handheld subsystem")
+	}
+}
+
+func TestFig5CommunicationGraph(t *testing.T) {
+	// The installed design's wiring must realize Fig. 5's module
+	// graph: every edge is a net connecting exactly the two
+	// endpoints.
+	cfg := DefaultConfig()
+	cfg.PageSize = 2048
+	cfg.Images = 1
+	b := pia.NewSystem("fig5")
+	if _, err := Install(b, cfg, LocalPlacement()); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net, ends := range CommunicationGraph() {
+		n := sim.Subsystem("main").Net(net)
+		if n == nil {
+			t.Fatalf("Fig 5 net %q missing", net)
+		}
+		comps := map[string]bool{}
+		for _, p := range n.Ports() {
+			if p.Component() != nil {
+				comps[p.Component().Name()] = true
+			}
+		}
+		if !comps[ends[0]] || !comps[ends[1]] {
+			t.Fatalf("net %q connects %v, want %v", net, comps, ends)
+		}
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	b := pia.NewSystem("bad")
+	if _, err := Install(b, Config{}, LocalPlacement()); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestUILoadTimeError(t *testing.T) {
+	u := &UI{}
+	if _, err := u.LoadTime(0); err == nil {
+		t.Fatal("LoadTime of incomplete load succeeded")
+	}
+}

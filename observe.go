@@ -1,0 +1,49 @@
+package pia
+
+import (
+	"repro/internal/debug"
+	"repro/internal/iss"
+	"repro/internal/trace"
+)
+
+// Observability and debugging surface.
+
+type (
+	// TraceRecorder taps net drives for waveform/text export.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded net drive.
+	TraceEvent = trace.Event
+	// Debugger adds breakpoints, watchpoints, stepping and
+	// inspection to a subsystem.
+	Debugger = debug.Debugger
+	// Breakpoint pauses a run on a condition over component local
+	// times.
+	Breakpoint = debug.Breakpoint
+	// Watchpoint pauses a run when a net is driven.
+	Watchpoint = debug.Watchpoint
+	// DebugHit explains why a debugged run paused.
+	DebugHit = debug.Hit
+)
+
+// NewTraceRecorder creates a recorder retaining at most limit events
+// (0 = unlimited). Attach it to subsystems before running.
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// NewDebugger attaches a debugger to a subsystem.
+func NewDebugger(sub *Subsystem) *Debugger { return debug.New(sub) }
+
+// Instruction set simulator surface.
+
+type (
+	// ISSCPU is an instruction-set-simulator component.
+	ISSCPU = iss.CPU
+	// ISSInstr is a decoded instruction.
+	ISSInstr = iss.Instr
+)
+
+// AssembleISS assembles RISC source text into program words for an
+// ISSCPU.
+func AssembleISS(src string) ([]uint32, error) { return iss.Assemble(src) }
+
+// DisassembleISS renders program words back to text.
+func DisassembleISS(prog []uint32) []string { return iss.Disassemble(prog) }

@@ -1,0 +1,540 @@
+// Package pia is the public API of the Pia geographically distributed
+// co-simulation framework — a reproduction of Hines & Borriello,
+// "A Geographically Distributed Framework for Embedded System Design
+// and Validation" (DAC 1998).
+//
+// A system is described once, in the designer's view: components with
+// ports, nets connecting them, and a placement of every component
+// onto a named subsystem. The builder then realizes the description
+// either locally (all subsystems in one process, bridged by in-memory
+// channels) or across Pia nodes connected over TCP. Nets crossing
+// subsystem boundaries are split automatically — each fragment gets a
+// hidden port owned by a channel endpoint, exactly as in the paper —
+// and virtual time is coordinated with conservative (safe-time) or
+// optimistic (checkpoint/rollback) channels.
+//
+//	b := pia.NewSystem("demo")
+//	b.AddComponent("cpu", "handheld", cpuBehavior, "bus")
+//	b.AddComponent("modem", "basestation", modemBehavior, "bus")
+//	b.AddNet("bus", 0, "cpu.bus", "modem.bus")
+//	sim, err := b.BuildLocal()
+//	err = sim.Run(pia.Seconds(1))
+//
+// The subpackages remain internal; everything a downstream user needs
+// is re-exported here.
+package pia
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/detail"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+	"repro/internal/vtime"
+)
+
+// Re-exported core types: see the internal packages for full
+// documentation.
+type (
+	// Proc is the execution context of a component behaviour.
+	Proc = core.Proc
+	// Msg is a value delivered to a port.
+	Msg = core.Msg
+	// Behavior is a component's functionality.
+	Behavior = core.Behavior
+	// BehaviorFunc adapts a function to Behavior.
+	BehaviorFunc = core.BehaviorFunc
+	// Reactor is the reactive-component pattern.
+	Reactor = core.Reactor
+	// StateSaver marks checkpointable behaviours.
+	StateSaver = core.StateSaver
+	// Subsystem is a scheduler plus a fragment of the design.
+	Subsystem = core.Subsystem
+	// CheckpointSet is a whole-subsystem checkpoint.
+	CheckpointSet = core.CheckpointSet
+	// Time is virtual time; Duration a span of it.
+	Time = vtime.Time
+	// Duration is a span of virtual time.
+	Duration = vtime.Duration
+	// Policy selects conservative or optimistic channels.
+	Policy = channel.Policy
+	// LinkModel prices traffic crossing a channel.
+	LinkModel = channel.LinkModel
+	// Switchpoint is a parsed runlevel switching rule.
+	Switchpoint = detail.Switchpoint
+	// Engine evaluates switchpoints for a subsystem.
+	Engine = detail.Engine
+	// Agent coordinates distributed snapshots.
+	Agent = snapshot.Agent
+)
+
+// Re-exported constants and helpers.
+const (
+	// Infinity is later than every schedulable event.
+	Infinity = vtime.Infinity
+	// Conservative channels never violate causality.
+	Conservative = channel.Conservative
+	// Optimistic channels run ahead and roll back.
+	Optimistic = channel.Optimistic
+)
+
+// React adapts a Reactor to a Behavior.
+func React(r Reactor) Behavior { return core.React(r) }
+
+// GobSave / GobRestore implement StateSaver for gob-encodable state.
+func GobSave(v any) ([]byte, error)       { return core.GobSave(v) }
+func GobRestore(v any, data []byte) error { return core.GobRestore(v, data) }
+
+// Milliseconds, Microseconds and Seconds build virtual durations.
+func Seconds(n int64) Duration      { return Duration(n) * vtime.Second }
+func Milliseconds(n int64) Duration { return Duration(n) * vtime.Millisecond }
+func Microseconds(n int64) Duration { return Duration(n) * vtime.Microsecond }
+
+// Predefined link models.
+var (
+	LoopbackLink = channel.LoopbackLink
+	LANLink      = channel.LANLink
+	InternetLink = channel.InternetLink
+)
+
+// ParseSwitchpoint parses a single switchpoint rule.
+func ParseSwitchpoint(src string) (*Switchpoint, error) { return detail.ParseSwitchpoint(src) }
+
+// componentDef is one component in the designer's view.
+type componentDef struct {
+	name      string
+	subsystem string
+	behavior  Behavior
+	ports     []string
+	runlevel  string
+}
+
+type netDef struct {
+	name  string
+	delay Duration
+	ports []string // "component.port"
+}
+
+type channelCfg struct {
+	policy Policy
+	link   LinkModel
+}
+
+// SystemBuilder accumulates the designer's view of a system.
+type SystemBuilder struct {
+	name     string
+	comps    map[string]*componentDef
+	order    []string
+	nets     map[string]*netDef
+	netOrder []string
+
+	defaultPolicy Policy
+	defaultLink   LinkModel
+	perPair       map[[2]string]channelCfg
+
+	err error
+}
+
+// NewSystem starts a system description.
+func NewSystem(name string) *SystemBuilder {
+	return &SystemBuilder{
+		name:          name,
+		comps:         make(map[string]*componentDef),
+		nets:          make(map[string]*netDef),
+		defaultPolicy: Conservative,
+		defaultLink:   LoopbackLink,
+		perPair:       make(map[[2]string]channelCfg),
+	}
+}
+
+// AddComponent places a component with the given ports on a
+// subsystem.
+func (b *SystemBuilder) AddComponent(name, subsystem string, bhv Behavior, ports ...string) *SystemBuilder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" || subsystem == "" || bhv == nil {
+		b.err = fmt.Errorf("pia: component %q needs a name, a subsystem and a behaviour", name)
+		return b
+	}
+	if _, dup := b.comps[name]; dup {
+		b.err = fmt.Errorf("pia: duplicate component %q", name)
+		return b
+	}
+	b.comps[name] = &componentDef{name: name, subsystem: subsystem, behavior: bhv, ports: ports}
+	b.order = append(b.order, name)
+	return b
+}
+
+// SetRunlevel sets a component's initial detail level.
+func (b *SystemBuilder) SetRunlevel(component, level string) *SystemBuilder {
+	if b.err != nil {
+		return b
+	}
+	c := b.comps[component]
+	if c == nil {
+		b.err = fmt.Errorf("pia: SetRunlevel of unknown component %q", component)
+		return b
+	}
+	c.runlevel = level
+	return b
+}
+
+// AddNet connects ports (written "component.port") with a net of the
+// given propagation delay.
+func (b *SystemBuilder) AddNet(name string, delay Duration, portRefs ...string) *SystemBuilder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.nets[name]; dup {
+		b.err = fmt.Errorf("pia: duplicate net %q", name)
+		return b
+	}
+	for _, ref := range portRefs {
+		comp, port, ok := splitRef(ref)
+		if !ok {
+			b.err = fmt.Errorf("pia: net %q: bad port reference %q (want component.port)", name, ref)
+			return b
+		}
+		c := b.comps[comp]
+		if c == nil {
+			b.err = fmt.Errorf("pia: net %q references unknown component %q", name, comp)
+			return b
+		}
+		if !contains(c.ports, port) {
+			b.err = fmt.Errorf("pia: net %q references unknown port %q on %q", name, port, comp)
+			return b
+		}
+	}
+	b.nets[name] = &netDef{name: name, delay: delay, ports: portRefs}
+	b.netOrder = append(b.netOrder, name)
+	return b
+}
+
+// SetDefaultChannel sets the policy and link model used for every
+// subsystem pair without an explicit override.
+func (b *SystemBuilder) SetDefaultChannel(p Policy, link LinkModel) *SystemBuilder {
+	b.defaultPolicy, b.defaultLink = p, link
+	return b
+}
+
+// SetChannel overrides policy and link for one subsystem pair.
+func (b *SystemBuilder) SetChannel(subA, subB string, p Policy, link LinkModel) *SystemBuilder {
+	if subA > subB {
+		subA, subB = subB, subA
+	}
+	b.perPair[[2]string{subA, subB}] = channelCfg{policy: p, link: link}
+	return b
+}
+
+// Err returns the first accumulated builder error.
+func (b *SystemBuilder) Err() error { return b.err }
+
+func splitRef(ref string) (comp, port string, ok bool) {
+	i := strings.LastIndex(ref, ".")
+	if i <= 0 || i == len(ref)-1 {
+		return "", "", false
+	}
+	return ref[:i], ref[i+1:], true
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// view builds the graph-package global view.
+func (b *SystemBuilder) view() (*graph.View, error) {
+	v := graph.NewView()
+	for _, name := range b.order {
+		c := b.comps[name]
+		if err := v.AddComponent(c.name, c.subsystem); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range b.netOrder {
+		n := b.nets[name]
+		refs := make([]graph.PortRef, 0, len(n.ports))
+		for _, ref := range n.ports {
+			comp, port, _ := splitRef(ref)
+			refs = append(refs, graph.PortRef{Component: comp, Port: port})
+		}
+		if err := v.AddNet(n.name, n.delay, refs...); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+func (b *SystemBuilder) pairCfg(a, c string) channelCfg {
+	if a > c {
+		a, c = c, a
+	}
+	if cfg, ok := b.perPair[[2]string{a, c}]; ok {
+		return cfg
+	}
+	return channelCfg{policy: b.defaultPolicy, link: b.defaultLink}
+}
+
+// Simulation is a locally built system: every subsystem in this
+// process, channels over in-memory pipes.
+type Simulation struct {
+	Name       string
+	Subsystems map[string]*core.Subsystem
+	Hubs       map[string]*channel.Hub
+	Agents     map[string]*snapshot.Agent
+	Engines    map[string]*detail.Engine
+
+	subOrder []string
+}
+
+// BuildLocal realizes the description in-process. Conservative
+// channel topologies are validated against the paper's
+// simple-cycles-only rule.
+func (b *SystemBuilder) BuildLocal() (*Simulation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	v, err := b.view()
+	if err != nil {
+		return nil, err
+	}
+	splits, chans, err := v.Partition()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.validateTopology(chans); err != nil {
+		return nil, err
+	}
+
+	sim := &Simulation{
+		Name:       b.name,
+		Subsystems: make(map[string]*core.Subsystem),
+		Hubs:       make(map[string]*channel.Hub),
+		Agents:     make(map[string]*snapshot.Agent),
+		Engines:    make(map[string]*detail.Engine),
+	}
+	for _, subName := range v.Subsystems() {
+		s := core.NewSubsystem(subName)
+		sim.Subsystems[subName] = s
+		sim.Hubs[subName] = channel.NewHub(s)
+		sim.subOrder = append(sim.subOrder, subName)
+	}
+	if err := b.populate(sim.Subsystems, splits); err != nil {
+		return nil, err
+	}
+	// Bridge the crossing nets.
+	endpoints := make(map[[2]string][2]*channel.Endpoint)
+	for _, cs := range chans {
+		cfg := b.pairCfg(cs.A, cs.B)
+		epA, epB, err := channel.Connect(sim.Hubs[cs.A], sim.Hubs[cs.B], cfg.policy, cfg.link)
+		if err != nil {
+			return nil, err
+		}
+		endpoints[[2]string{cs.A, cs.B}] = [2]*channel.Endpoint{epA, epB}
+		for _, netName := range cs.Nets {
+			if err := epA.BindNet(sim.Subsystems[cs.A].Net(netName), netName); err != nil {
+				return nil, err
+			}
+			if err := epB.BindNet(sim.Subsystems[cs.B].Net(netName), netName); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for name, hub := range sim.Hubs {
+		sim.Agents[name] = snapshot.NewAgent(hub)
+		sim.Engines[name] = detail.NewEngine(sim.Subsystems[name])
+	}
+	return sim, nil
+}
+
+// populate instantiates components, ports and net fragments into the
+// prepared subsystems.
+func (b *SystemBuilder) populate(subs map[string]*core.Subsystem, splits []graph.Split) error {
+	for _, name := range b.order {
+		cd := b.comps[name]
+		s := subs[cd.subsystem]
+		c, err := s.NewComponent(cd.name, cd.behavior)
+		if err != nil {
+			return err
+		}
+		if cd.runlevel != "" {
+			c.SetRunlevel(cd.runlevel)
+		}
+		for _, pn := range cd.ports {
+			if _, err := c.AddPort(pn); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sp := range splits {
+		for _, frag := range sp.Fragments {
+			s := subs[frag.Subsystem]
+			n, err := s.NewNet(sp.Net, sp.Delay)
+			if err != nil {
+				return err
+			}
+			ports := make([]*core.Port, 0, len(frag.Ports))
+			for _, pr := range frag.Ports {
+				ports = append(ports, s.Component(pr.Component).Port(pr.Port))
+			}
+			if err := s.Connect(n, ports...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateTopology applies the simple-cycles-only rule to the
+// conservative restriction graph.
+func (b *SystemBuilder) validateTopology(chans []graph.ChannelSpec) error {
+	tp := graph.NewTopology()
+	for _, cs := range chans {
+		cfg := b.pairCfg(cs.A, cs.B)
+		if cfg.policy != Conservative {
+			continue
+		}
+		tp.AddEdge(cs.A, cs.B)
+		tp.AddEdge(cs.B, cs.A)
+	}
+	return tp.Validate()
+}
+
+// Subsystem returns a built subsystem by name.
+func (sim *Simulation) Subsystem(name string) *core.Subsystem { return sim.Subsystems[name] }
+
+// SubsystemNames returns the subsystem names, sorted.
+func (sim *Simulation) SubsystemNames() []string {
+	out := append([]string(nil), sim.subOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// Component locates a component anywhere in the simulation.
+func (sim *Simulation) Component(name string) *core.Component {
+	for _, s := range sim.Subsystems {
+		if c := s.Component(name); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// Run executes every subsystem concurrently until the horizon.
+// Distributed simulations require a finite horizon; a horizon of
+// Infinity is only legal for single-subsystem systems (whose runs
+// terminate when all work is exhausted).
+//
+// For multi-subsystem simulations Run iterates rounds until the
+// system is quiescent: every message any channel emitted has reached
+// its peer and been fully processed. This makes Run deterministic for
+// optimistic channels too, whose subsystems otherwise return from a
+// finite-horizon run as soon as their local work is exhausted,
+// possibly before in-flight traffic lands.
+func (sim *Simulation) Run(until Time) error {
+	return sim.runRounds(until, runtime.Gosched)
+}
+
+// runRounds is the shared round loop behind Simulation.Run and
+// Cluster.Run; backoff is called while waiting for transports to
+// flush.
+func (sim *Simulation) runRounds(until Time, backoff func()) error {
+	if until == Infinity && len(sim.subOrder) > 1 {
+		return errors.New("pia: multi-subsystem simulations need a finite horizon (see Simulation.Run)")
+	}
+	for {
+		errs := make([]error, len(sim.subOrder))
+		done := make(chan int, len(sim.subOrder))
+		for i, name := range sim.subOrder {
+			go func(i int, s *core.Subsystem) {
+				errs[i] = s.Run(until)
+				done <- i
+			}(i, sim.Subsystems[name])
+		}
+		for range sim.subOrder {
+			<-done
+		}
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+		if len(sim.subOrder) == 1 {
+			return nil
+		}
+		if sim.quiesce(backoff) {
+			return nil
+		}
+	}
+}
+
+// quiesce waits for the transports to flush and reports whether every
+// channel message has been handled; false means another round is
+// needed.
+func (sim *Simulation) quiesce(backoff func()) bool {
+	// Wait until everything sent has at least reached the peer's
+	// injection queue (in-memory pipes flush promptly).
+	for !sim.flushed() {
+		backoff()
+	}
+	for _, name := range sim.subOrder {
+		for _, ep := range sim.Hubs[name].Endpoints() {
+			if ep.QueuedCount() != ep.HandledCount() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// flushed reports whether, for every channel pair, the peer has
+// enqueued everything this side sent.
+func (sim *Simulation) flushed() bool {
+	for _, name := range sim.subOrder {
+		for _, ep := range sim.Hubs[name].Endpoints() {
+			peerHub := sim.Hubs[ep.Peer()]
+			if peerHub == nil {
+				continue
+			}
+			back := peerHub.Endpoint(name)
+			if back == nil {
+				continue
+			}
+			if back.QueuedCount() < ep.SentCount() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stop aborts all subsystem runs.
+func (sim *Simulation) Stop() {
+	for _, s := range sim.Subsystems {
+		s.Stop()
+	}
+}
+
+// Close announces completion on every channel and unwinds component
+// goroutines. Call when done with the simulation.
+func (sim *Simulation) Close() error {
+	var first error
+	for _, h := range sim.Hubs {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range sim.Subsystems {
+		s.Teardown()
+	}
+	return first
+}

@@ -1,0 +1,231 @@
+package pia
+
+import (
+	"strings"
+	"testing"
+)
+
+type pingState struct {
+	Sent int
+	N    int
+}
+
+func (s *pingState) Run(p *Proc) error {
+	for s.Sent < s.N {
+		p.Delay(10)
+		p.Send("out", s.Sent)
+		s.Sent++
+	}
+	return nil
+}
+
+func (s *pingState) SaveState() ([]byte, error)  { return GobSave(s) }
+func (s *pingState) RestoreState(b []byte) error { return GobRestore(s, b) }
+
+type pongState struct {
+	Got []int
+}
+
+func (s *pongState) Run(p *Proc) error {
+	for {
+		m, ok := p.Recv("in")
+		if !ok {
+			return nil
+		}
+		s.Got = append(s.Got, m.Value.(int))
+	}
+}
+
+func (s *pongState) SaveState() ([]byte, error)  { return GobSave(s) }
+func (s *pongState) RestoreState(b []byte) error { return GobRestore(s, b) }
+
+func TestBuildLocalSingleSubsystem(t *testing.T) {
+	src := &pingState{N: 4}
+	dst := &pongState{}
+	b := NewSystem("single").
+		AddComponent("src", "main", src, "out").
+		AddComponent("dst", "main", dst, "in").
+		AddNet("wire", 1, "src.out", "dst.in")
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Got) != 4 {
+		t.Fatalf("delivered %v", dst.Got)
+	}
+	if sim.Component("src") == nil || sim.Component("ghost") != nil {
+		t.Fatal("Component lookup broken")
+	}
+	if got := sim.SubsystemNames(); len(got) != 1 || got[0] != "main" {
+		t.Fatalf("SubsystemNames = %v", got)
+	}
+}
+
+func TestBuildLocalSplitNet(t *testing.T) {
+	src := &pingState{N: 6}
+	dst := &pongState{}
+	b := NewSystem("split").
+		AddComponent("src", "ssA", src, "out").
+		AddComponent("dst", "ssB", dst, "in").
+		AddNet("wire", 0, "src.out", "dst.in").
+		SetDefaultChannel(Conservative, LinkModel{Latency: Microseconds(1), PerMessage: 100})
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(Time(Seconds(1))); err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if len(dst.Got) != 6 {
+		t.Fatalf("delivered %v across split net", dst.Got)
+	}
+	for i, v := range dst.Got {
+		if v != i {
+			t.Fatalf("order broken: %v", dst.Got)
+		}
+	}
+	// The split created hidden ports on both fragments.
+	for _, sub := range []string{"ssA", "ssB"} {
+		n := sim.Subsystem(sub).Net("wire")
+		if n == nil {
+			t.Fatalf("no fragment of wire on %s", sub)
+		}
+		hidden := 0
+		for _, p := range n.Ports() {
+			if p.Hidden() {
+				hidden++
+			}
+		}
+		if hidden != 1 {
+			t.Fatalf("%s fragment has %d hidden ports, want 1", sub, hidden)
+		}
+	}
+}
+
+func TestMultiSubsystemNeedsHorizon(t *testing.T) {
+	b := NewSystem("x").
+		AddComponent("a", "s1", &pingState{N: 1}, "out").
+		AddComponent("b", "s2", &pongState{}, "in").
+		AddNet("w", 0, "a.out", "b.in")
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(Infinity); err == nil {
+		t.Fatal("Run(Infinity) on multi-subsystem accepted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		build func() *SystemBuilder
+		want  string
+	}{
+		{func() *SystemBuilder {
+			return NewSystem("e").AddComponent("", "s", &pongState{})
+		}, "needs a name"},
+		{func() *SystemBuilder {
+			return NewSystem("e").AddComponent("a", "s", &pongState{}, "in").AddComponent("a", "s", &pongState{}, "in")
+		}, "duplicate component"},
+		{func() *SystemBuilder {
+			return NewSystem("e").AddNet("n", 0, "nodot")
+		}, "bad port reference"},
+		{func() *SystemBuilder {
+			return NewSystem("e").AddNet("n", 0, "ghost.p")
+		}, "unknown component"},
+		{func() *SystemBuilder {
+			return NewSystem("e").AddComponent("a", "s", &pongState{}, "in").AddNet("n", 0, "a.nope")
+		}, "unknown port"},
+		{func() *SystemBuilder {
+			return NewSystem("e").AddComponent("a", "s", &pongState{}, "in").
+				AddNet("n", 0, "a.in").AddNet("n", 0, "a.in")
+		}, "duplicate net"},
+		{func() *SystemBuilder {
+			return NewSystem("e").SetRunlevel("ghost", "x")
+		}, "unknown component"},
+	}
+	for _, c := range cases {
+		b := c.build()
+		if b.Err() == nil {
+			t.Errorf("builder accepted: want error containing %q", c.want)
+			continue
+		}
+		if !strings.Contains(b.Err().Error(), c.want) {
+			t.Errorf("error %q does not contain %q", b.Err(), c.want)
+		}
+		if _, err := b.BuildLocal(); err == nil {
+			t.Error("BuildLocal ignored builder error")
+		}
+	}
+}
+
+func TestConservativeLookaheadValidated(t *testing.T) {
+	b := NewSystem("zero").
+		AddComponent("a", "s1", &pingState{N: 1}, "out").
+		AddComponent("b", "s2", &pongState{}, "in").
+		AddNet("w", 0, "a.out", "b.in").
+		SetDefaultChannel(Conservative, LinkModel{})
+	if _, err := b.BuildLocal(); err == nil {
+		t.Fatal("zero-lookahead conservative channel accepted")
+	}
+}
+
+func TestSetChannelOverride(t *testing.T) {
+	src := &pingState{N: 2}
+	dst := &pongState{}
+	b := NewSystem("ovr").
+		AddComponent("src", "ssA", src, "out").
+		AddComponent("dst", "ssB", dst, "in").
+		AddNet("w", 0, "src.out", "dst.in").
+		SetDefaultChannel(Conservative, LinkModel{}). // invalid default...
+		SetChannel("ssA", "ssB", Optimistic, LinkModel{Latency: 10})
+	sim, err := b.BuildLocal() // ...made irrelevant by the override
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Subsystems["ssB"].SetAutoCheckpoint(Microseconds(100))
+	if err := sim.Run(Time(Seconds(1))); err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if len(dst.Got) != 2 {
+		t.Fatalf("delivered %v", dst.Got)
+	}
+}
+
+func TestSwitchpointViaPublicAPI(t *testing.T) {
+	levels := map[string]bool{}
+	observer := BehaviorFunc(func(p *Proc) error {
+		for i := 0; i < 10; i++ {
+			p.Delay(10)
+			levels[p.Runlevel()] = true
+		}
+		return nil
+	})
+	b := NewSystem("sw").AddComponent("cpu", "main", observer)
+	b.SetRunlevel("cpu", "word")
+	sim, err := b.BuildLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Engines["main"].AddRule("when cpu >= 50: cpu->packet"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if !levels["word"] || !levels["packet"] {
+		t.Fatalf("levels seen: %v", levels)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if Seconds(1) != 1_000_000_000 || Milliseconds(2) != 2_000_000 || Microseconds(3) != 3_000 {
+		t.Fatal("duration helpers wrong")
+	}
+}
