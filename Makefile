@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real concurrency: the wire framing,
+# the channel protocol + coalescing, and the kernel scheduler.
+race:
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/channel/... ./internal/core/... ./internal/node/...
+
+# One iteration of the headline benchmarks, as a smoke test that the
+# Table 1 experiments still run end to end (including the coalesced
+# remote row).
+bench-smoke:
+	$(GO) test -run=^$$ -bench=Table1 -benchtime=1x ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...

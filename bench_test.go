@@ -12,6 +12,7 @@ package pia_test
 import (
 	"testing"
 
+	pia "repro"
 	"repro/internal/experiments"
 	"repro/internal/vtime"
 )
@@ -27,6 +28,10 @@ func reportRow(b *testing.B, row experiments.Table1Row, err error) {
 	b.ReportMetric(float64(row.Wall.Nanoseconds()), "wall-ns/load")
 	b.ReportMetric(float64(row.Virt), "virtual-ns/load")
 	b.ReportMetric(float64(row.Drives), "link-drives")
+	if row.FramesOut > 0 {
+		b.ReportMetric(float64(row.FramesOut), "wire-frames")
+		b.ReportMetric(float64(row.WireBytesOut), "wire-bytes")
+	}
 }
 
 func BenchmarkTable1_NativeHotJava(b *testing.B) {
@@ -70,6 +75,20 @@ func BenchmarkTable1_RemoteWord(b *testing.B) {
 	var err error
 	for i := 0; i < b.N; i++ {
 		last, err = experiments.Remote(benchPage, "wordLevel")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRow(b, last, err)
+}
+
+func BenchmarkTable1_RemoteWordCoalesced(b *testing.B) {
+	page := benchPage
+	page.Coalesce = pia.DefaultCoalesce
+	var last experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.Remote(page, "wordLevel")
 		if err != nil {
 			b.Fatal(err)
 		}

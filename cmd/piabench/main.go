@@ -10,24 +10,33 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
 
+	pia "repro"
 	"repro/internal/experiments"
 	"repro/internal/vtime"
 	"repro/internal/wubbleu"
 )
 
+// jsonOut, when non-empty, receives the Table 1 rows (including the
+// coalesced remote row) as machine-readable JSON — the perf
+// trajectory later changes are compared against.
+var jsonOut string
+
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, coalesce, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
+	flag.StringVar(&jsonOut, "json", "", "write Table 1 results to this file as JSON (e.g. BENCH_1.json)")
 	flag.Parse()
 
 	runners := map[string]func(int) error{
 		"table1":      table1,
+		"coalesce":    coalesce,
 		"fig1":        fig1,
 		"fig2":        fig2,
 		"fig3":        fig3,
@@ -66,16 +75,101 @@ func tw() *tabwriter.Writer {
 
 func table1(pageKB int) error {
 	fmt.Printf("Table 1: time and simulation overhead on several configurations of the WubbleU example (%d KB page)\n\n", pageKB)
-	rows, err := experiments.Table1(experiments.Table1Config{PageSize: pageKB * 1024, Images: 4})
+	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4}
+	rows, err := experiments.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	// One extra row beyond the paper: the remote word level with
+	// egress coalescing — same workload, batched wire frames.
+	cfg.Coalesce = pia.DefaultCoalesce
+	co, err := experiments.Remote(cfg, "wordLevel")
+	if err != nil {
+		return err
+	}
+	co.Location = "remote+coalesce"
+	if rows[0].Wall > 0 {
+		co.Overhead = float64(co.Wall) / float64(rows[0].Wall)
+	}
+	rows = append(rows, co)
+	w := tw()
+	fmt.Fprintln(w, "Location\tDetail level\tsimulation time\tvirtual load\tlink drives\twire frames\twire bytes\toverhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%d\t%d\t%d\t%.0fx\n", r.Location, r.Level, r.Wall, r.Virt, r.Drives, r.FramesOut, r.WireBytesOut, r.Overhead)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeJSON(cfg, rows)
+}
+
+// coalesce runs the coalescing ablation alone: remote word level,
+// frames and wall with and without batching on identical workloads.
+func coalesce(pageKB int) error {
+	fmt.Printf("Coalescing ablation: remote word level, %d KB page\n\n", pageKB)
+	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4}
+	off, on, err := experiments.CoalescingAblation(cfg, "wordLevel")
 	if err != nil {
 		return err
 	}
 	w := tw()
-	fmt.Fprintln(w, "Location\tDetail level\tsimulation time\tvirtual load\tlink drives\toverhead")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%d\t%.0fx\n", r.Location, r.Level, r.Wall, r.Virt, r.Drives, r.Overhead)
+	fmt.Fprintln(w, "Location\tsimulation time\tlink drives\twire frames\twire bytes")
+	for _, r := range []experiments.Table1Row{off, on} {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\n", r.Location, r.Wall, r.Drives, r.FramesOut, r.WireBytesOut)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if on.FramesOut > 0 {
+		fmt.Printf("\nframe reduction: %.1fx, wall: %v -> %v\n",
+			float64(off.FramesOut)/float64(on.FramesOut), off.Wall, on.Wall)
+	}
+	return writeJSON(cfg, []experiments.Table1Row{off, on})
+}
+
+// benchRow is the machine-readable form of one Table 1 row.
+type benchRow struct {
+	Location     string  `json:"location"`
+	Level        string  `json:"level"`
+	WallNS       int64   `json:"wall_ns"`
+	VirtualNS    int64   `json:"virtual_ns"`
+	LinkDrives   int     `json:"link_drives"`
+	FramesOut    int64   `json:"frames_out"`
+	WireBytesOut int64   `json:"wire_bytes_out"`
+	Overhead     float64 `json:"overhead"`
+}
+
+func writeJSON(cfg experiments.Table1Config, rows []experiments.Table1Row) error {
+	if jsonOut == "" {
+		return nil
+	}
+	out := struct {
+		Experiment string     `json:"experiment"`
+		PageBytes  int        `json:"page_bytes"`
+		Images     int        `json:"images"`
+		Rows       []benchRow `json:"rows"`
+	}{Experiment: "table1", PageBytes: cfg.PageSize, Images: cfg.Images}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, benchRow{
+			Location:     r.Location,
+			Level:        r.Level,
+			WallNS:       r.Wall.Nanoseconds(),
+			VirtualNS:    int64(r.Virt),
+			LinkDrives:   r.Drives,
+			FramesOut:    r.FramesOut,
+			WireBytesOut: r.WireBytesOut,
+			Overhead:     r.Overhead,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+	return nil
 }
 
 func fig1(int) error {

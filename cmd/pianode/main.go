@@ -33,6 +33,10 @@ func main() {
 	pageKB := flag.Int("page", 66, "page size in KB served by the web store")
 	images := flag.Int("images", 4, "images embedded in the page")
 	verbose := flag.Bool("v", false, "log channel activity")
+	coalesce := flag.Bool("coalesce", false, "coalesce egress messages into batched wire frames")
+	coalesceMsgs := flag.Int("coalesce-msgs", channel.DefaultCoalesce.MaxMsgs, "flush a batch at this many queued messages")
+	coalesceBytes := flag.Int("coalesce-bytes", channel.DefaultCoalesce.MaxBytes, "flush a batch at this many queued payload bytes (0 = no byte budget)")
+	coalesceHold := flag.Int64("coalesce-hold", 0, "flush when queued drives span this many virtual ns (0 = unbounded)")
 	flag.Parse()
 
 	cfg := wubbleu.DefaultConfig()
@@ -48,6 +52,13 @@ func main() {
 	n := node.New("modem-node")
 	if *verbose {
 		n.Tracer = func(s string) { log.Print(s) }
+	}
+	if *coalesce {
+		n.SetCoalescing(channel.CoalesceConfig{
+			MaxMsgs:  *coalesceMsgs,
+			MaxBytes: *coalesceBytes,
+			MaxHold:  vtime.Duration(*coalesceHold),
+		})
 	}
 	hosted := n.Host(sub)
 	// When a designer's node connects, splice the incoming channel

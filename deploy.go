@@ -81,6 +81,11 @@ func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, erro
 	if err := b.populate(cl.Subsystems, splits); err != nil {
 		return nil, err
 	}
+	if b.coalesceSet {
+		for _, n := range cl.nodeSet {
+			n.SetCoalescing(b.coalesce)
+		}
+	}
 
 	// Start listeners on nodes that will accept cross-node channels.
 	needListen := map[*Node]bool{}

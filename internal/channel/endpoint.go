@@ -37,6 +37,42 @@ type Stats struct {
 	GrantsOut, GrantsIn int64
 	Stragglers          int64
 	SeqErrors           int64
+	Flushes             int64 // non-empty egress flushes
+	FlushedMsgs         int64 // messages carried by those flushes
+}
+
+// CoalesceConfig tunes egress message coalescing. Data drives
+// accumulate in the endpoint's egress queue until one of the budgets
+// trips; urgent messages (safe-time asks and grants, marks, restores,
+// close) always flush immediately, with any queued drives preceding
+// them in the same batch so FIFO order is preserved.
+type CoalesceConfig struct {
+	// MaxMsgs flushes once this many messages are queued. Values
+	// below 2 disable coalescing.
+	MaxMsgs int
+	// MaxBytes flushes once the queued payload bytes (signal sizes,
+	// not wire encoding) reach this budget. 0 means no byte budget.
+	MaxBytes int
+	// MaxHold bounds the virtual-time span a queued drive may wait
+	// behind the first queued drive. 0 means unbounded — safe because
+	// timestamps are stamped at egress and every scheduler stall
+	// flushes, so holding affects wall-clock delivery only.
+	MaxHold vtime.Duration
+}
+
+// Enabled reports whether the config actually coalesces.
+func (c CoalesceConfig) Enabled() bool { return c.MaxMsgs > 1 }
+
+// DefaultCoalesce is a balanced policy: big enough batches to
+// amortize framing, small enough to keep wall-clock latency low.
+var DefaultCoalesce = CoalesceConfig{MaxMsgs: 64, MaxBytes: 32 << 10}
+
+// BatchTransport is implemented by transports that can carry several
+// messages in one frame. SetCoalescing only takes effect on
+// endpoints whose Transport also implements BatchTransport.
+type BatchTransport interface {
+	Transport
+	SendBatch(msgs []Message) error
 }
 
 // Hub manages all channel endpoints of one subsystem. It chains into
@@ -69,7 +105,38 @@ func NewHub(sub *core.Subsystem) *Hub {
 		}
 		h.depart(until)
 	}
+	prevStall := sub.OnStall
+	sub.OnStall = func() {
+		if prevStall != nil {
+			prevStall()
+		}
+		h.flushAll()
+	}
 	return h
+}
+
+// flushAll drains every endpoint's egress queue. Chained into the
+// subsystem's stall hook: whenever the scheduler is about to block,
+// anything still coalescing goes on the wire — the peer may be
+// waiting on exactly those drives, and nothing further will top up
+// the batch while we sleep.
+func (h *Hub) flushAll() {
+	h.mu.Lock()
+	eps := append([]*Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	for _, ep := range eps {
+		ep.Flush()
+	}
+}
+
+// SetCoalescing applies cfg to every endpoint of the hub.
+func (h *Hub) SetCoalescing(cfg CoalesceConfig) {
+	h.mu.Lock()
+	eps := append([]*Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	for _, ep := range eps {
+		ep.SetCoalescing(cfg)
+	}
 }
 
 // depart pushes a final grant covering the horizon to every
@@ -85,6 +152,7 @@ func (h *Hub) depart(until vtime.Time) {
 	h.mu.Unlock()
 	for _, ep := range eps {
 		ep.departGrant(until.Add(1))
+		ep.Flush() // departGrant may dedupe to nothing; drives must still go out
 	}
 }
 
@@ -117,9 +185,11 @@ func (ep *Endpoint) departGrant(g vtime.Time) {
 		ep.pendingAsk = 0
 	}
 	ep.stats.GrantsOut++
-	m := ep.nextOut(Message{Kind: KindSafeTimeGrant, Grant: g})
+	flush := ep.queueLocked(ep.nextOut(Message{Kind: KindSafeTimeGrant, Grant: g}), true)
 	ep.mu.Unlock()
-	ep.send(m)
+	if flush {
+		ep.Flush()
+	}
 }
 
 // Subsystem returns the hub's subsystem.
@@ -325,6 +395,20 @@ type Endpoint struct {
 	restoreFn      func(tag string)
 	stragglerFn    func(t vtime.Time) bool
 
+	// Egress coalescing. Messages are appended to pendingOut under
+	// ep.mu in nextOut order, so the queue is the seq order; flush
+	// extracts the whole queue and hands it to the transport under
+	// sendMu, which serializes flushes and keeps batches in order.
+	coalesce     CoalesceConfig
+	coalesceOn   bool
+	btr          BatchTransport
+	pendingOut   []Message
+	spareOut     []Message // previous batch's backing array, reused
+	pendingBytes int
+	holdBase     vtime.Time // Time of the first queued drive
+
+	sendMu sync.Mutex // serializes flushes; never taken under ep.mu
+
 	// Flush accounting for round-based drivers (pia.Simulation.Run):
 	// queuedN counts messages enqueued by the transport pump,
 	// handledN counts messages fully processed by the scheduler.
@@ -487,10 +571,12 @@ func (ep *Endpoint) Request(t vtime.Time) {
 	ep.lastAsk = t
 	ep.lastAskData = ep.stats.DataIn
 	ep.stats.AsksOut++
-	m := ep.nextOut(Message{Kind: KindSafeTimeReq, Ask: t})
+	flush := ep.queueLocked(ep.nextOut(Message{Kind: KindSafeTimeReq, Ask: t}), true)
 	ep.lastAskSeqOut = ep.seqOut
 	ep.mu.Unlock()
-	ep.send(m)
+	if flush {
+		ep.Flush()
+	}
 }
 
 // BindNet attaches the endpoint to a split net: a hidden port is
@@ -524,8 +610,11 @@ func (ep *Endpoint) egress(remoteNet string, m core.Msg) {
 		Value:  m.Value,
 	})
 	ep.unacked = append(ep.unacked, egressRec{seq: out.Seq, arrival: arrive})
+	flush := ep.queueLocked(out, false)
 	ep.mu.Unlock()
-	ep.send(out)
+	if flush {
+		ep.Flush()
+	}
 }
 
 // nextOut stamps common fields; caller holds ep.mu.
@@ -539,12 +628,114 @@ func (ep *Endpoint) nextOut(m Message) Message {
 
 func (ep *Endpoint) send(m Message) {
 	if err := ep.tr.Send(m); err != nil {
-		ep.mu.Lock()
-		if ep.protoErr == nil {
-			ep.protoErr = fmt.Errorf("channel %s: send: %w", ep.Name(), err)
-		}
-		ep.mu.Unlock()
+		ep.setErr(fmt.Errorf("channel %s: send: %w", ep.Name(), err))
 	}
+}
+
+func (ep *Endpoint) setErr(err error) {
+	ep.mu.Lock()
+	if ep.protoErr == nil {
+		ep.protoErr = err
+	}
+	ep.mu.Unlock()
+}
+
+// SetCoalescing enables or disables egress coalescing. It only takes
+// effect when the endpoint's transport can carry batches (the node
+// wire transport can; the in-process pipe cannot and keeps the
+// immediate path). Safe to call at any time; a disable flushes
+// whatever is queued.
+func (ep *Endpoint) SetCoalescing(cfg CoalesceConfig) {
+	ep.mu.Lock()
+	btr, batching := ep.tr.(BatchTransport)
+	if cfg.Enabled() && batching {
+		ep.coalesce = cfg
+		ep.coalesceOn = true
+		ep.btr = btr
+		ep.mu.Unlock()
+		return
+	}
+	wasOn := ep.coalesceOn
+	ep.mu.Unlock()
+	if wasOn {
+		// Drain what is queued as one last batch before reverting to
+		// the immediate path.
+		ep.Flush()
+	}
+	ep.mu.Lock()
+	ep.coalesceOn = false
+	ep.btr = nil
+	ep.mu.Unlock()
+	// Catch anything that raced into the queue between the drain and
+	// the disable; a clean queue makes this a no-op.
+	ep.Flush()
+}
+
+// queueLocked appends m to the egress queue and reports whether the
+// caller must flush after releasing ep.mu. Caller holds ep.mu; m must
+// already be stamped by nextOut so queue order is seq order.
+func (ep *Endpoint) queueLocked(m Message, urgent bool) bool {
+	ep.pendingOut = append(ep.pendingOut, m)
+	if !ep.coalesceOn || urgent {
+		return true
+	}
+	ep.pendingBytes += payloadSize(m.Value)
+	if len(ep.pendingOut) == 1 {
+		ep.holdBase = m.Time
+	}
+	if ep.coalesce.MaxMsgs > 0 && len(ep.pendingOut) >= ep.coalesce.MaxMsgs {
+		return true
+	}
+	if ep.coalesce.MaxBytes > 0 && ep.pendingBytes >= ep.coalesce.MaxBytes {
+		return true
+	}
+	if ep.coalesce.MaxHold > 0 && m.Time.Sub(ep.holdBase) >= ep.coalesce.MaxHold {
+		return true
+	}
+	return false
+}
+
+// Flush drains the egress queue onto the transport. An empty queue is
+// a no-op. Concurrent flushes are serialized by sendMu, and the queue
+// is extracted under ep.mu after sendMu is held, so batches leave in
+// enqueue (= seq) order even when several goroutines race to flush.
+func (ep *Endpoint) Flush() {
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	ep.mu.Lock()
+	batch := ep.pendingOut
+	// Swap in the previous batch's array: steady state allocates
+	// nothing. The array being handed to the transport below is not
+	// reused until the next flush, which sendMu holds off.
+	ep.pendingOut = ep.spareOut[:0]
+	ep.spareOut = batch
+	ep.pendingBytes = 0
+	useBatch := ep.coalesceOn && ep.btr != nil
+	btr := ep.btr
+	if len(batch) > 0 {
+		ep.stats.Flushes++
+		ep.stats.FlushedMsgs += int64(len(batch))
+	}
+	ep.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if useBatch {
+		if err := btr.SendBatch(batch); err != nil {
+			ep.setErr(fmt.Errorf("channel %s: send batch: %w", ep.Name(), err))
+		}
+	} else {
+		for _, m := range batch {
+			ep.send(m)
+		}
+	}
+}
+
+// PendingOut returns how many egress messages are queued, unflushed.
+func (ep *Endpoint) PendingOut() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.pendingOut)
 }
 
 // pushGrant computes this subsystem's grant toward the peer from the
@@ -597,10 +788,14 @@ func (ep *Endpoint) pushGrant(floor vtime.Time) {
 		ep.pendingAsk = 0
 	}
 	ep.stats.GrantsOut++
-	dbg("%s PUSH grant=%v floor=%v pending=%v myAck=%d", ep.Name(), g, floor, pending, ep.seqInNext)
-	m := ep.nextOut(Message{Kind: KindSafeTimeGrant, Grant: g})
+	if DebugHook != nil {
+		dbg("%s PUSH grant=%v floor=%v pending=%v myAck=%d", ep.Name(), g, floor, pending, ep.seqInNext)
+	}
+	flush := ep.queueLocked(ep.nextOut(Message{Kind: KindSafeTimeGrant, Grant: g}), true)
 	ep.mu.Unlock()
-	ep.send(m)
+	if flush {
+		ep.Flush()
+	}
 }
 
 // sendClose announces completion.
@@ -611,9 +806,9 @@ func (ep *Endpoint) sendClose() error {
 		return nil
 	}
 	ep.closed = true
-	m := ep.nextOut(Message{Kind: KindClose})
+	ep.queueLocked(ep.nextOut(Message{Kind: KindClose}), true)
 	ep.mu.Unlock()
-	ep.send(m)
+	ep.Flush() // everything queued, then the close, then the transport goes down
 	return ep.tr.Close()
 }
 
@@ -651,9 +846,9 @@ func (ep *Endpoint) SendMark(tag string) {
 		ep.mu.Unlock()
 		return
 	}
-	m := ep.nextOut(Message{Kind: KindMark, Tag: tag})
+	ep.queueLocked(ep.nextOut(Message{Kind: KindMark, Tag: tag}), true)
 	ep.mu.Unlock()
-	ep.send(m)
+	ep.Flush()
 }
 
 // SendRestore orders the peer to restore the tagged snapshot.
@@ -663,9 +858,9 @@ func (ep *Endpoint) SendRestore(tag string) {
 		ep.mu.Unlock()
 		return
 	}
-	m := ep.nextOut(Message{Kind: KindRestore, Tag: tag})
+	ep.queueLocked(ep.nextOut(Message{Kind: KindRestore, Tag: tag}), true)
 	ep.mu.Unlock()
-	ep.send(m)
+	ep.Flush()
 }
 
 // SetRecording starts or stops capturing incoming data messages (the
@@ -720,7 +915,9 @@ func (ep *Endpoint) OnMessage(m Message) {
 // process handles one message on the scheduler goroutine. It returns
 // true (retry after rollback) for optimistic stragglers.
 func (ep *Endpoint) process(m Message) bool {
-	dbg("%s PROC seq=%d ack=%d %v", ep.Name(), m.Seq, m.Ack, m)
+	if DebugHook != nil {
+		dbg("%s PROC seq=%d ack=%d %v", ep.Name(), m.Seq, m.Ack, m)
+	}
 	ep.mu.Lock()
 	if !ep.seqChecked(m) {
 		ep.seqInNext = m.Seq

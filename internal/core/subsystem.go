@@ -116,6 +116,7 @@ type Subsystem struct {
 	OnPublish    func(now, key vtime.Time)                  // called on the scheduler goroutine after each publish
 	OnDrive      func(net, src string, t vtime.Time, v any) // called for every net drive (waveform tracing)
 	OnDepart     func(until vtime.Time)                     // called right before Run returns at a finite horizon
+	OnStall      func()                                     // called right before the scheduler blocks waiting for input
 
 	running bool
 	fatal   error
@@ -469,15 +470,18 @@ func (s *Subsystem) driveFrom(n *Net, driver *Port, src string, t vtime.Time, v 
 			}
 			continue
 		}
-		pt.comp.inbox.Push(&event.Event{
-			Time:      deliver,
-			Kind:      event.KindNet,
-			Component: pt.comp.name,
-			Port:      pt.Name,
-			Net:       n.Name,
-			Value:     v,
-			Source:    src,
-		})
+		// Pooled: the fanout allocates one event per listener on every
+		// drive — the hottest allocation in a run. step() recycles it
+		// after the payload is copied into the delivered Msg.
+		e := event.Get()
+		e.Time = deliver
+		e.Kind = event.KindNet
+		e.Component = pt.comp.name
+		e.Port = pt.Name
+		e.Net = n.Name
+		e.Value = v
+		e.Source = src
+		pt.comp.inbox.Push(e)
 	}
 }
 
@@ -677,8 +681,7 @@ func (s *Subsystem) Run(until vtime.Time) error {
 		// not stranded mid-ratchet by our departure).
 		if until != vtime.Infinity && key > until {
 			if s.hasExternal() && !s.gatesDrained(until) {
-				s.stats.Stalls++
-				s.waitForWake()
+				s.stall()
 				continue
 			}
 			// Claim the horizon only when nothing external can still
@@ -706,8 +709,7 @@ func (s *Subsystem) Run(until vtime.Time) error {
 		if key == vtime.Infinity {
 			if s.hasExternal() {
 				// Stalled on the outside world.
-				s.stats.Stalls++
-				s.waitForWake()
+				s.stall()
 				continue
 			}
 			if s.signalEOF() {
@@ -723,8 +725,7 @@ func (s *Subsystem) Run(until vtime.Time) error {
 
 		// Conservative gates: may we advance to key?
 		if blocked := s.gateBlocked(key); blocked {
-			s.stats.Stalls++
-			s.waitForWake()
+			s.stall()
 			continue
 		}
 
@@ -804,6 +805,10 @@ func (s *Subsystem) step(c *Component, key vtime.Time) {
 		if e := c.nextDeliverable(); e != nil && vtime.Max(e.Time, c.localTime) == key {
 			e = c.popDeliverable()
 			msg := c.msgFromEvent(e)
+			// msgFromEvent copied everything Recv can see, and
+			// checkpoint images copy inbox events by value at capture
+			// time — nothing references e past this point.
+			event.Put(e)
 			s.stats.Deliveries++
 			s.resume(c, tokenMsg{ok: true, msg: msg})
 			return
@@ -834,6 +839,19 @@ func (s *Subsystem) hasExternal() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.external > 0
+}
+
+// stall announces the impending block (the channel layer flushes its
+// coalesced egress here — peers may be waiting on exactly those
+// messages) and then waits. OnStall runs outside s.mu, so hooks may
+// send on transports freely; a peer reply racing in between lands in
+// the injection queue and makes waitForWake return immediately.
+func (s *Subsystem) stall() {
+	s.stats.Stalls++
+	if s.OnStall != nil {
+		s.OnStall()
+	}
+	s.waitForWake()
 }
 
 // waitForWake blocks until something changes: an injection, a gate

@@ -1,0 +1,26 @@
+package event
+
+import "sync"
+
+// pool recycles Event structs. The scheduler's drive fanout creates
+// one Event per (drive, listener) pair — by far the hottest
+// allocation in a simulation — and every event is dead the moment its
+// payload has been copied into the Msg handed to Recv, so the
+// lifecycle is a textbook pool fit.
+var pool = sync.Pool{New: func() any { return new(Event) }}
+
+// Get returns a zeroed Event from the pool.
+func Get() *Event {
+	return pool.Get().(*Event)
+}
+
+// Put recycles an event. The caller must not retain the pointer; any
+// reference that outlives delivery (checkpoint images, snapshots)
+// must copy the Event by value first.
+func Put(e *Event) {
+	if e == nil {
+		return
+	}
+	*e = Event{}
+	pool.Put(e)
+}

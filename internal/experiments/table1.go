@@ -26,6 +26,13 @@ type Table1Row struct {
 	Virt     vtime.Duration // virtual load time (not in the paper's table)
 	Drives   int            // net drives on the switchable DMA link
 	Overhead float64        // Wall / native Wall
+
+	// Wire traffic for remote rows (sent direction, both nodes
+	// summed): how many TCP frames and bytes the run cost. The
+	// coalescing ablation's figure of merit — same drives, fewer
+	// frames.
+	FramesOut    int64
+	WireBytesOut int64
 }
 
 // Table1Config scales the experiment (the paper used the full 66 KB
@@ -33,6 +40,10 @@ type Table1Row struct {
 type Table1Config struct {
 	PageSize int
 	Images   int
+
+	// Coalesce, when enabled, batches cross-node egress on remote
+	// rows. The zero value keeps the one-frame-per-message path.
+	Coalesce pia.CoalesceConfig
 }
 
 // DefaultTable1Config reproduces the paper's setup.
@@ -124,6 +135,9 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 		return Table1Row{}, err
 	}
 	b.SetDefaultChannel(pia.Conservative, pia.LoopbackLink)
+	if c.Coalesce.Enabled() {
+		b.SetCoalescing(c.Coalesce)
+	}
 	n1, n2 := pia.NewNode("handheld-node"), pia.NewNode("modem-node")
 	cl, err := b.BuildOnNodes(map[string]*pia.Node{
 		"handheld":  n1,
@@ -142,10 +156,37 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 	if res.Loads != cfg.Loads {
 		return Table1Row{}, fmt.Errorf("experiments: remote %s load incomplete (%d/%d)", level, res.Loads, cfg.Loads)
 	}
-	return Table1Row{
+	row := Table1Row{
 		Location: "remote", Level: levelName(level),
 		Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives,
-	}, nil
+	}
+	for _, n := range []*pia.Node{n1, n2} {
+		_, bo, _, fo := n.WireStats()
+		row.FramesOut += fo
+		row.WireBytesOut += bo
+	}
+	return row, nil
+}
+
+// CoalescingAblation runs the remote row at the given level twice —
+// uncoalesced, then with the given (or default) coalescing policy —
+// so the frame reduction and wall-clock change are measured on
+// identical workloads.
+func CoalescingAblation(c Table1Config, level string) (off, on Table1Row, err error) {
+	plain := c
+	plain.Coalesce = pia.CoalesceConfig{}
+	if off, err = Remote(plain, level); err != nil {
+		return off, on, err
+	}
+	batched := c
+	if !batched.Coalesce.Enabled() {
+		batched.Coalesce = pia.DefaultCoalesce
+	}
+	if on, err = Remote(batched, level); err != nil {
+		return off, on, err
+	}
+	on.Location, off.Location = "remote+coalesce", "remote"
+	return off, on, nil
 }
 
 func levelName(level string) string {

@@ -68,6 +68,9 @@ type Node struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	coalesce    channel.CoalesceConfig
+	coalesceSet bool
+
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
 }
@@ -113,6 +116,54 @@ func (n *Node) FinishAgents() {
 			h.Agent = snapshot.NewAgent(h.Hub)
 		}
 	}
+}
+
+// SetCoalescing applies an egress coalescing policy to every channel
+// endpoint the node has created and every endpoint it creates later
+// (both dialed and accepted). Node transports implement batching, so
+// this is the switch that turns one-frame-per-drive into batched
+// frames.
+func (n *Node) SetCoalescing(cfg channel.CoalesceConfig) {
+	n.mu.Lock()
+	n.coalesce = cfg
+	n.coalesceSet = true
+	hosted := make([]*Hosted, 0, len(n.hosted))
+	for _, h := range n.hosted {
+		hosted = append(hosted, h)
+	}
+	n.mu.Unlock()
+	for _, h := range hosted {
+		h.Hub.SetCoalescing(cfg)
+	}
+}
+
+// applyCoalescing configures a freshly created endpoint with the
+// node-wide policy, if one was set.
+func (n *Node) applyCoalescing(ep *channel.Endpoint) {
+	n.mu.Lock()
+	cfg, set := n.coalesce, n.coalesceSet
+	n.mu.Unlock()
+	if set {
+		ep.SetCoalescing(cfg)
+	}
+}
+
+// WireStats sums the framing counters of every connection the node
+// owns: bytes and frames, in and out. The frame counts are what the
+// coalescing ablation reports — fewer frames for the same drives is
+// the whole point.
+func (n *Node) WireStats() (bytesIn, bytesOut, framesIn, framesOut int64) {
+	n.mu.Lock()
+	conns := append([]*wire.Conn(nil), n.conns...)
+	n.mu.Unlock()
+	for _, c := range conns {
+		bi, bo, fi, fo := c.Stats()
+		bytesIn += bi
+		bytesOut += bo
+		framesIn += fi
+		framesOut += fo
+	}
+	return
 }
 
 // trace logs through the tracer if set.
@@ -176,6 +227,7 @@ func (n *Node) serveConn(c *wire.Conn) error {
 		c.Close()
 		return err
 	}
+	n.applyCoalescing(ep)
 	if hosted.OnChannel != nil {
 		hosted.OnChannel(ep)
 	}
@@ -218,6 +270,7 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 		c.Close()
 		return nil, err
 	}
+	n.applyCoalescing(ep)
 	n.addConn(c)
 	n.wg.Add(1)
 	go func() {
@@ -231,16 +284,36 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 }
 
 // pump reads frames and hands them to the endpoint until the
-// connection drops.
+// connection drops. Gob frames carry one message each (the legacy
+// path and the fallback); batch frames carry many. Both may
+// interleave freely on one connection — the sender picks per flush.
 func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint) error {
+	dec := channel.NewBatchDecoder()
 	for {
-		var f frame
-		if err := c.Recv(&f); err != nil {
+		kind, payload, err := c.RecvFrame()
+		if err != nil {
 			return err
 		}
-		ep.OnMessage(f.Msg)
-		if f.Msg.Kind == channel.KindClose {
-			return nil
+		switch kind {
+		case wire.FrameGob:
+			var f frame
+			if err := wire.DecodeGob(payload, &f); err != nil {
+				return err
+			}
+			ep.OnMessage(f.Msg)
+			if f.Msg.Kind == channel.KindClose {
+				return nil
+			}
+		case wire.FrameBatch:
+			closed, err := dec.DecodeBatch(payload, ep.OnMessage)
+			if err != nil {
+				return err
+			}
+			if closed {
+				return nil
+			}
+		default:
+			return fmt.Errorf("node %s: unknown frame kind %d", n.name, kind)
 		}
 	}
 }
@@ -319,10 +392,32 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// connTransport adapts a wire.Conn to channel.Transport.
+// connTransport adapts a wire.Conn to channel.Transport and
+// channel.BatchTransport.
 type connTransport struct {
 	c *wire.Conn
 }
 
 func (t *connTransport) Send(m channel.Message) error { return t.c.Send(frame{Msg: m}) }
 func (t *connTransport) Close() error                 { return nil } // node owns the conn
+
+// SendBatch encodes the messages into as few batch frames as the
+// frame limit allows (almost always one) and writes them in order.
+// The encode buffer is pooled, so a steady-state flush allocates
+// nothing beyond what gob fallback entries need.
+func (t *connTransport) SendBatch(msgs []channel.Message) error {
+	buf := wire.GetBuf()
+	defer func() { wire.PutBuf(buf) }()
+	for len(msgs) > 0 {
+		payload, done, err := channel.AppendBatch(buf[:0], msgs, wire.MaxFrame)
+		if err != nil {
+			return err
+		}
+		buf = payload
+		if err := t.c.SendRaw(wire.FrameBatch, payload); err != nil {
+			return err
+		}
+		msgs = msgs[done:]
+	}
+	return nil
+}

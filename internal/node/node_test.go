@@ -114,6 +114,44 @@ func TestRemoteChannelDelivery(t *testing.T) {
 	}
 }
 
+// TestRemoteCoalescedDelivery is the end-to-end check for message
+// coalescing: batch frames actually cross a real TCP connection, the
+// safe-time protocol still converges, and delivery stays in order.
+func TestRemoteCoalescedDelivery(t *testing.T) {
+	n1, n2, s1, s2, rcv := buildRemotePair(t, channel.Conservative, 25)
+	defer n1.Close()
+	defer n2.Close()
+	cfg := channel.CoalesceConfig{MaxMsgs: 8, MaxBytes: 32 << 10}
+	n1.SetCoalescing(cfg)
+	n2.SetCoalescing(cfg)
+	var wg sync.WaitGroup
+	var e1, e2 error
+	wg.Add(2)
+	go func() { defer wg.Done(); e1 = s1.Run(500) }()
+	go func() { defer wg.Done(); e2 = s2.Run(500) }()
+	wg.Wait()
+	if e1 != nil || e2 != nil {
+		t.Fatalf("runs: %v / %v", e1, e2)
+	}
+	if len(rcv.Got) != 25 {
+		t.Fatalf("received %d over coalesced TCP, want 25", len(rcv.Got))
+	}
+	for i, v := range rcv.Got {
+		if v != i {
+			t.Fatalf("order broken over coalesced TCP: %v", rcv.Got)
+		}
+	}
+	ep := n1.Hosted("handheld").Hub.Endpoint("server")
+	if st := ep.Stats(); st.Flushes == 0 || st.FlushedMsgs == 0 {
+		t.Fatalf("sender never batched: %+v", st)
+	}
+	_, _, _, framesOut := n1.WireStats()
+	if st := ep.Stats(); framesOut >= st.FlushedMsgs {
+		t.Fatalf("coalescing sent %d frames for %d messages — no batching on the wire",
+			framesOut, st.FlushedMsgs)
+	}
+}
+
 func TestRemoteInfiniteRunTerminatesViaClose(t *testing.T) {
 	n1, n2, s1, s2, rcv := buildRemotePair(t, channel.Conservative, 3)
 	defer n1.Close()

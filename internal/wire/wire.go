@@ -1,8 +1,12 @@
 // Package wire implements the framing Pia nodes speak over TCP:
-// length-prefixed gob frames. Each frame is a gob-encoded value
-// preceded by a big-endian uint32 length, which keeps the stream
-// self-describing, lets both sides count bytes, and makes partial
-// reads detectable.
+// length-prefixed, kind-tagged frames. Each frame is a 4-byte
+// big-endian payload length, a 1-byte frame kind, and the payload.
+// Two kinds exist today: FrameGob carries a single gob-encoded value
+// (the self-describing fallback, also used for the handshake), and
+// FrameBatch carries a batch of channel messages in the hand-rolled
+// binary format of internal/channel. The length prefix keeps the
+// stream self-describing, lets both sides count bytes, and makes
+// partial reads detectable.
 package wire
 
 import (
@@ -20,38 +24,30 @@ import (
 // error, not a legitimate simulation message.
 const MaxFrame = 64 << 20
 
-// Conn frames gob values over a byte stream. Send is safe for
-// concurrent use; Recv must be called from a single reader.
+// Frame kinds.
+const (
+	// FrameGob is a single gob-encoded value (handshake, fallback).
+	FrameGob byte = 0
+	// FrameBatch is a batch of channel messages in the binary batch
+	// format (see internal/channel).
+	FrameBatch byte = 1
+)
+
+// Conn frames values over a byte stream. Send, SendRaw are safe for
+// concurrent use; Recv and RecvFrame must be called from a single
+// reader.
 type Conn struct {
 	rwc io.ReadWriteCloser
 
 	wmu  sync.Mutex
-	enc  *gob.Encoder
 	wbuf bytes.Buffer
 
-	dec  *gob.Decoder
-	rbuf frameReader
+	rbuf []byte // receive buffer, reused across frames
 
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
 	framesIn  atomic.Int64
 	framesOut atomic.Int64
-}
-
-// frameReader feeds the gob decoder exactly one frame at a time.
-type frameReader struct {
-	src io.Reader
-	buf []byte
-	pos int
-}
-
-func (f *frameReader) Read(p []byte) (int, error) {
-	if f.pos >= len(f.buf) {
-		return 0, io.EOF
-	}
-	n := copy(p, f.buf[f.pos:])
-	f.pos += n
-	return n, nil
 }
 
 // NewConn wraps a stream (usually a *net.TCPConn).
@@ -60,7 +56,10 @@ func NewConn(rwc io.ReadWriteCloser) *Conn {
 	return c
 }
 
-// Send writes one frame containing v.
+// headerLen is the frame overhead: 4-byte length + 1-byte kind.
+const headerLen = 5
+
+// Send writes one FrameGob frame containing v.
 func (c *Conn) Send(v any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -68,46 +67,95 @@ func (c *Conn) Send(v any) error {
 	if err := gob.NewEncoder(&c.wbuf).Encode(v); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
-	if c.wbuf.Len() > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", c.wbuf.Len())
+	return c.writeFrameLocked(FrameGob, c.wbuf.Bytes())
+}
+
+// SendRaw writes one frame of the given kind with an already-encoded
+// payload. The payload is copied to the stream before SendRaw
+// returns, so the caller may reuse its buffer.
+func (c *Conn) SendRaw(kind byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.writeFrameLocked(kind, payload)
+}
+
+func (c *Conn) writeFrameLocked(kind byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(c.wbuf.Len()))
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = kind
 	if _, err := c.rwc.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
-	if _, err := c.rwc.Write(c.wbuf.Bytes()); err != nil {
+	if _, err := c.rwc.Write(payload); err != nil {
 		return fmt.Errorf("wire: write body: %w", err)
 	}
-	c.bytesOut.Add(int64(4 + c.wbuf.Len()))
+	c.bytesOut.Add(int64(headerLen + len(payload)))
 	c.framesOut.Add(1)
 	return nil
 }
 
-// Recv reads one frame into v.
-func (c *Conn) Recv(v any) error {
-	var hdr [4]byte
+// RecvFrame reads one frame and returns its kind and payload. The
+// payload slice is owned by the Conn and only valid until the next
+// RecvFrame or Recv call; decode it before reading again.
+func (c *Conn) RecvFrame() (kind byte, payload []byte, err error) {
+	var hdr [headerLen]byte
 	if _, err := io.ReadFull(c.rwc, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	c.rbuf = c.rbuf[:n]
+	if _, err := io.ReadFull(c.rwc, c.rbuf); err != nil {
+		return 0, nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	c.bytesIn.Add(int64(headerLen + n))
+	c.framesIn.Add(1)
+	return hdr[4], c.rbuf, nil
+}
+
+// Recv reads one FrameGob frame into v. It fails on any other frame
+// kind; readers that must handle batch frames use RecvFrame.
+func (c *Conn) Recv(v any) error {
+	kind, payload, err := c.RecvFrame()
+	if err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("wire: incoming frame of %d bytes exceeds limit", n)
+	if kind != FrameGob {
+		return fmt.Errorf("wire: expected gob frame, got kind %d", kind)
 	}
-	if cap(c.rbuf.buf) < int(n) {
-		c.rbuf.buf = make([]byte, n)
-	}
-	c.rbuf.buf = c.rbuf.buf[:n]
-	c.rbuf.pos = 0
-	if _, err := io.ReadFull(c.rwc, c.rbuf.buf); err != nil {
-		return fmt.Errorf("wire: read body: %w", err)
-	}
-	if err := gob.NewDecoder(&c.rbuf).Decode(v); err != nil {
+	return DecodeGob(payload, v)
+}
+
+// DecodeGob decodes a FrameGob payload into v.
+func DecodeGob(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
 		return fmt.Errorf("wire: decode: %w", err)
 	}
-	c.bytesIn.Add(int64(4 + n))
-	c.framesIn.Add(1)
 	return nil
+}
+
+// bufPool recycles scratch buffers for callers assembling frame
+// payloads (EncodeGob and the node batch path), so steady-state
+// sends allocate nothing.
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 4<<10) }}
+
+// GetBuf returns a scratch byte slice (length 0) from the pool.
+func GetBuf() []byte { return bufPool.Get().([]byte)[:0] }
+
+// PutBuf returns a scratch buffer to the pool.
+func PutBuf(b []byte) {
+	if cap(b) > MaxFrame {
+		return // do not retain pathological buffers
+	}
+	bufPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped
 }
 
 // Close closes the underlying stream.

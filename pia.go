@@ -103,6 +103,13 @@ var (
 	InternetLink = channel.InternetLink
 )
 
+// CoalesceConfig tunes egress message coalescing on cross-node
+// channels; see channel.CoalesceConfig.
+type CoalesceConfig = channel.CoalesceConfig
+
+// DefaultCoalesce is the balanced coalescing policy.
+var DefaultCoalesce = channel.DefaultCoalesce
+
 // ParseSwitchpoint parses a single switchpoint rule.
 func ParseSwitchpoint(src string) (*Switchpoint, error) { return detail.ParseSwitchpoint(src) }
 
@@ -137,6 +144,9 @@ type SystemBuilder struct {
 	defaultPolicy Policy
 	defaultLink   LinkModel
 	perPair       map[[2]string]channelCfg
+
+	coalesce    CoalesceConfig
+	coalesceSet bool
 
 	err error
 }
@@ -230,6 +240,15 @@ func (b *SystemBuilder) SetChannel(subA, subB string, p Policy, link LinkModel) 
 		subA, subB = subB, subA
 	}
 	b.perPair[[2]string{subA, subB}] = channelCfg{policy: p, link: link}
+	return b
+}
+
+// SetCoalescing applies an egress coalescing policy to every
+// cross-node channel the build creates. In-process channels (pipes)
+// keep the immediate path — they have no framing cost to amortize.
+func (b *SystemBuilder) SetCoalescing(cfg CoalesceConfig) *SystemBuilder {
+	b.coalesce = cfg
+	b.coalesceSet = true
 	return b
 }
 
