@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race chaos bench-smoke bench
 
-ci: vet build test race bench-smoke
+ci: vet build test race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -14,9 +14,16 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real concurrency: the wire framing,
-# the channel protocol + coalescing, and the kernel scheduler.
+# the channel protocol + coalescing, the kernel scheduler, and the
+# fault-injection / session-recovery layers.
 race:
-	$(GO) test -race -count=1 ./internal/wire/... ./internal/channel/... ./internal/core/... ./internal/node/...
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/channel/... ./internal/core/... ./internal/node/... ./internal/faultnet/... ./internal/resilience/...
+
+# The seeded chaos suite: Table-1 workloads under injected WAN faults
+# must produce results identical to the fault-free run, under the race
+# detector.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments/...
 
 # One iteration of the headline benchmarks, as a smoke test that the
 # Table 1 experiments still run end to end (including the coalesced

@@ -19,10 +19,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/node"
+	"repro/internal/resilience"
 	"repro/internal/vtime"
 	"repro/internal/wubbleu"
 )
@@ -37,6 +40,27 @@ func main() {
 	coalesceMsgs := flag.Int("coalesce-msgs", channel.DefaultCoalesce.MaxMsgs, "flush a batch at this many queued messages")
 	coalesceBytes := flag.Int("coalesce-bytes", channel.DefaultCoalesce.MaxBytes, "flush a batch at this many queued payload bytes (0 = no byte budget)")
 	coalesceHold := flag.Int64("coalesce-hold", 0, "flush when queued drives span this many virtual ns (0 = unbounded)")
+
+	// Deterministic fault injection on accepted connections (chaos
+	// testing a designer's link against this vendor node).
+	seed := flag.Int64("seed", 1, "fault-schedule seed; same seed reproduces the same faults")
+	faultDrop := flag.Float64("fault-drop", 0, "probability a frame is dropped")
+	faultDup := flag.Float64("fault-dup", 0, "probability a frame is duplicated")
+	faultReorder := flag.Float64("fault-reorder", 0, "probability a frame is swapped with its successor")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability one frame byte is flipped")
+	faultLatency := flag.Duration("fault-latency", 0, "fixed wall-clock delay per frame")
+	faultJitter := flag.Duration("fault-jitter", 0, "uniform random extra delay per frame")
+	faultBW := flag.Int64("fault-bw", 0, "bandwidth cap in bits/s (0 = uncapped)")
+	faultPartition := flag.String("fault-partition", "", "scripted partitions, \"atframe:healms[,...]\" e.g. \"50:15\"")
+
+	// Resumable sessions: survive connection loss and injected faults.
+	resilient := flag.Bool("resilient", false, "speak the resumable session protocol (peer must too)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "session heartbeat interval")
+	heartbeatMiss := flag.Int("heartbeat-miss", 0, "missed heartbeats before the connection is declared dead (0 = default)")
+	retryBase := flag.Duration("retry-base", 0, "initial reconnect backoff (0 = default)")
+	retryMax := flag.Int("retry-max", 0, "reconnect attempts per outage before giving up (0 = default)")
+	retentionFrames := flag.Int("retention-frames", 0, "unacked frames retained for resume (0 = default)")
+	retentionBytes := flag.Int("retention-bytes", 0, "unacked bytes retained for resume (0 = default)")
 	flag.Parse()
 
 	cfg := wubbleu.DefaultConfig()
@@ -58,6 +82,40 @@ func main() {
 			MaxMsgs:  *coalesceMsgs,
 			MaxBytes: *coalesceBytes,
 			MaxHold:  vtime.Duration(*coalesceHold),
+		})
+	}
+	fcfg := faultnet.Config{
+		Seed:         *seed,
+		Latency:      *faultLatency,
+		Jitter:       *faultJitter,
+		BandwidthBps: *faultBW,
+		DropProb:     *faultDrop,
+		DupProb:      *faultDup,
+		ReorderProb:  *faultReorder,
+		CorruptProb:  *faultCorrupt,
+	}
+	if *faultPartition != "" {
+		parts, err := faultnet.ParsePartitions(*faultPartition)
+		if err != nil {
+			log.Fatalf("pianode: -fault-partition: %v", err)
+		}
+		fcfg.Partitions = parts
+	}
+	if fcfg.Enabled() {
+		n.SetFaults(fcfg)
+		if !*resilient {
+			log.Print("pianode: warning: faults armed without -resilient; connections will not survive them")
+		}
+	}
+	if *resilient {
+		n.SetResilience(resilience.Config{
+			Heartbeat:       *heartbeat,
+			HeartbeatMiss:   *heartbeatMiss,
+			RetryBase:       *retryBase,
+			RetryMax:        *retryMax,
+			RetentionFrames: *retentionFrames,
+			RetentionBytes:  *retentionBytes,
+			Seed:            *seed,
 		})
 	}
 	hosted := n.Host(sub)

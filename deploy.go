@@ -86,6 +86,16 @@ func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, erro
 			n.SetCoalescing(b.coalesce)
 		}
 	}
+	if b.faultsSet {
+		for _, n := range cl.nodeSet {
+			n.SetFaults(b.faults)
+		}
+	}
+	if b.resilSet {
+		for _, n := range cl.nodeSet {
+			n.SetResilience(b.resil)
+		}
+	}
 
 	// Start listeners on nodes that will accept cross-node channels.
 	needListen := map[*Node]bool{}

@@ -164,7 +164,7 @@ func (h *Hub) depart(until vtime.Time) {
 // echoes that will never come.
 func (ep *Endpoint) departGrant(g vtime.Time) {
 	ep.mu.Lock()
-	if ep.policy != Conservative || ep.closed || ep.peerDone {
+	if ep.policy != Conservative || ep.closed || ep.paused || ep.peerDone {
 		ep.mu.Unlock()
 		return
 	}
@@ -388,6 +388,7 @@ type Endpoint struct {
 	recording      bool
 	recorded       []Message
 	closed         bool
+	paused         bool // rewind in progress: egress discarded
 	peerDone       bool
 	protoErr       error
 	stats          Stats
@@ -561,7 +562,7 @@ func (ep *Endpoint) addGrant(val vtime.Time, ack uint64) {
 func (ep *Endpoint) Request(t vtime.Time) {
 	ep.mu.Lock()
 	stale := ep.stats.DataIn > ep.lastAskData || ep.seqOut > ep.lastAskSeqOut
-	if ep.peerDone || ep.closed || (t <= ep.lastAsk && !stale) {
+	if ep.peerDone || ep.closed || ep.paused || (t <= ep.lastAsk && !stale) {
 		ep.mu.Unlock()
 		return
 	}
@@ -594,7 +595,9 @@ func (ep *Endpoint) BindNet(localNet *core.Net, remoteNet string) error {
 func (ep *Endpoint) egress(remoteNet string, m core.Msg) {
 	size := payloadSize(m.Value)
 	ep.mu.Lock()
-	if ep.closed {
+	if ep.closed || ep.paused {
+		// Paused egress belongs to a timeline a rewind is abandoning:
+		// the restored run regenerates these drives from scratch.
 		ep.mu.Unlock()
 		return
 	}
@@ -753,7 +756,7 @@ func (ep *Endpoint) PendingOut() int {
 func (ep *Endpoint) pushGrant(floor vtime.Time) {
 	g := floor.Add(ep.link.Lookahead())
 	ep.mu.Lock()
-	if ep.closed || ep.policy != Conservative {
+	if ep.closed || ep.paused || ep.policy != Conservative {
 		ep.mu.Unlock()
 		return
 	}
@@ -842,7 +845,7 @@ func (ep *Endpoint) SetStragglerHandler(fn func(t vtime.Time) bool) {
 // SendMark emits a snapshot mark toward the peer.
 func (ep *Endpoint) SendMark(tag string) {
 	ep.mu.Lock()
-	if ep.closed {
+	if ep.closed || ep.paused {
 		ep.mu.Unlock()
 		return
 	}
@@ -854,7 +857,7 @@ func (ep *Endpoint) SendMark(tag string) {
 // SendRestore orders the peer to restore the tagged snapshot.
 func (ep *Endpoint) SendRestore(tag string) {
 	ep.mu.Lock()
-	if ep.closed {
+	if ep.closed || ep.paused {
 		ep.mu.Unlock()
 		return
 	}
@@ -1000,6 +1003,56 @@ func (ep *Endpoint) process(m Message) bool {
 		ep.mu.Unlock()
 	}
 	return false
+}
+
+// LastSeqIn returns the highest channel sequence number processed
+// from the peer — diagnostic context for peer-loss errors.
+func (ep *Endpoint) LastSeqIn() uint64 {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.seqInNext
+}
+
+// ResetProtocol zeroes all per-connection protocol state for a
+// checkpoint rewind: both sides of the channel restart framing from
+// sequence 1 with no outstanding grants, asks or unacked egress, as
+// if the channel had just been built. Egress is paused — drives of
+// the abandoned timeline are discarded — until ResumeProtocol.
+//
+// Call on the subsystem's scheduler goroutine (via InjectFunc), after
+// every message of the dead connection epoch has drained from the
+// injection queue; calling earlier would interleave old-timeline
+// sequence numbers with the reset counters.
+func (ep *Endpoint) ResetProtocol() {
+	ep.mu.Lock()
+	ep.paused = true
+	ep.grants = nil
+	ep.unacked = nil
+	ep.pendingAsk = 0
+	ep.lastAsk = 0
+	ep.lastAskData = 0
+	ep.lastAskSeqOut = 0
+	ep.lastGrantData = 0
+	ep.lastGrantAck = 0
+	ep.lastDepartData = 0
+	ep.lastSent = 0
+	ep.busyUntil = 0
+	ep.seqOut = 0
+	ep.seqInNext = 0
+	ep.pendingOut = ep.pendingOut[:0]
+	ep.pendingBytes = 0
+	ep.holdBase = 0
+	// A transport error from the dying epoch is part of what the
+	// rewind recovers from.
+	ep.protoErr = nil
+	ep.mu.Unlock()
+}
+
+// ResumeProtocol reopens egress after a rewind's restore completes.
+func (ep *Endpoint) ResumeProtocol() {
+	ep.mu.Lock()
+	ep.paused = false
+	ep.mu.Unlock()
 }
 
 // seqChecked verifies FIFO sequencing; caller holds ep.mu.

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	pia "repro"
+	"repro/internal/proto"
+	"repro/internal/vtime"
+	"repro/internal/wubbleu"
+)
+
+// ChaosConfig drives the chaos experiment: the Table 1 remote
+// word-level workload run once over a clean loopback TCP link and
+// once over the same link with deterministic WAN faults injected
+// underneath a resilient session layer.
+type ChaosConfig struct {
+	Table1Config
+
+	// Seed fixes the whole fault schedule; the same seed reproduces
+	// the same drops, duplicates, reorders, corruptions and the same
+	// partition position, frame for frame.
+	Seed int64
+
+	// Faults overrides the injected fault mix. Zero value uses
+	// DefaultChaosFaults(Seed).
+	Faults pia.FaultConfig
+	// Resilience overrides the recovery tuning. Zero value uses
+	// DefaultChaosResilience().
+	Resilience pia.ResilienceConfig
+}
+
+// DefaultChaosFaults is the paper-style WAN misbehaviour mix the
+// chaos experiment injects: a few percent of frames dropped,
+// duplicated, reordered or corrupted, sub-millisecond jitter, and one
+// scripted partition/heal cycle early in the run.
+func DefaultChaosFaults(seed int64) pia.FaultConfig {
+	return pia.FaultConfig{
+		Seed:        seed,
+		Jitter:      200 * time.Microsecond,
+		DropProb:    0.03,
+		DupProb:     0.02,
+		ReorderProb: 0.02,
+		CorruptProb: 0.02,
+		Partitions:  []pia.FaultPartition{{AtFrame: 50, Heal: 15 * time.Millisecond}},
+	}
+}
+
+// DefaultChaosResilience tunes the session layer for the injected
+// fault rate: a fast heartbeat so dropped tails are detected quickly,
+// a short handshake timeout so an eaten hello costs milliseconds
+// rather than the 5s WAN default, and a short reconnect backoff so
+// the run spends its wall clock simulating rather than waiting.
+func DefaultChaosResilience() pia.ResilienceConfig {
+	return pia.ResilienceConfig{
+		Heartbeat:        20 * time.Millisecond,
+		HandshakeTimeout: 250 * time.Millisecond,
+		RetryBase:        2 * time.Millisecond,
+		RetryCap:         50 * time.Millisecond,
+		RetryMax:         40,
+	}
+}
+
+// ChaosRow is one leg of the chaos experiment.
+type ChaosRow struct {
+	Mode   string // "clean" or "faulty"
+	Wall   time.Duration
+	Virt   vtime.Duration // virtual load time — must match across legs
+	Drives int            // DMA link drives — must match across legs
+
+	// Fault-injection totals summed over every shaped link (faulty
+	// leg only).
+	Faults pia.FaultStats
+	// Session recovery counters summed over both nodes (faulty leg
+	// only).
+	Resil pia.ResilienceStats
+}
+
+// Injected counts the faults that actually fired.
+func (r ChaosRow) Injected() int64 {
+	return r.Faults.Dropped + r.Faults.Duplicated + r.Faults.Reordered + r.Faults.Corrupted + r.Faults.Cuts
+}
+
+// Chaos runs the Table 1 remote word-level workload clean and then
+// under deterministic faults with session recovery, and checks the
+// paper-level invariant: the simulation's virtual-time result and
+// link-drive count are identical — WAN misbehaviour costs wall-clock
+// time, never simulation correctness. It also re-derives every
+// link's fault schedule from (seed, link name) and verifies the
+// digest, so the run is provably the scheduled one.
+func Chaos(c ChaosConfig) (clean, faulty ChaosRow, err error) {
+	if !c.Faults.Enabled() {
+		c.Faults = DefaultChaosFaults(c.Seed)
+	}
+	if !c.Resilience.Enabled() {
+		c.Resilience = DefaultChaosResilience()
+	}
+	if clean, err = chaosLeg(c.Table1Config, nil, nil); err != nil {
+		return clean, faulty, fmt.Errorf("chaos: clean leg: %w", err)
+	}
+	clean.Mode = "clean"
+	if faulty, err = chaosLeg(c.Table1Config, &c.Faults, &c.Resilience); err != nil {
+		return clean, faulty, fmt.Errorf("chaos: faulty leg: %w", err)
+	}
+	faulty.Mode = "faulty"
+	if faulty.Virt != clean.Virt {
+		return clean, faulty, fmt.Errorf("chaos: virtual time diverged under faults: clean %v, faulty %v", clean.Virt, faulty.Virt)
+	}
+	if faulty.Drives != clean.Drives {
+		return clean, faulty, fmt.Errorf("chaos: link drives diverged under faults: clean %d, faulty %d", clean.Drives, faulty.Drives)
+	}
+	return clean, faulty, nil
+}
+
+// chaosLeg runs the remote word-level workload once. With nil faults
+// and resilience it is exactly the Table 1 remote row; otherwise the
+// cross-node link is shaped and the session layer recovers.
+func chaosLeg(c Table1Config, faults *pia.FaultConfig, resil *pia.ResilienceConfig) (ChaosRow, error) {
+	cfg := c.wubbleu(proto.LevelWord)
+	b := pia.NewSystem("wubbleu-chaos")
+	app, err := wubbleu.Install(b, cfg, wubbleu.RemotePlacement())
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	b.SetDefaultChannel(pia.Conservative, pia.LoopbackLink)
+	if faults != nil {
+		b.SetFaults(*faults)
+	}
+	if resil != nil {
+		b.SetResilience(*resil)
+	}
+	n1, n2 := pia.NewNode("handheld-node"), pia.NewNode("modem-node")
+	cl, err := b.BuildOnNodes(map[string]*pia.Node{
+		"handheld":  n1,
+		"modemsite": n2,
+	})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer cl.Close()
+	start := time.Now()
+	if err := cl.Run(horizon(cfg)); err != nil {
+		return ChaosRow{}, err
+	}
+	wall := time.Since(start)
+	res := app.Result()
+	if res.Loads != cfg.Loads {
+		return ChaosRow{}, fmt.Errorf("load incomplete (%d/%d)", res.Loads, cfg.Loads)
+	}
+	row := ChaosRow{Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives}
+	for _, n := range []*pia.Node{n1, n2} {
+		for _, l := range n.FaultLinks() {
+			if err := l.VerifyDigest(); err != nil {
+				return ChaosRow{}, err
+			}
+			s := l.Stats()
+			row.Faults.Frames += s.Frames
+			row.Faults.Forwarded += s.Forwarded
+			row.Faults.Dropped += s.Dropped
+			row.Faults.Duplicated += s.Duplicated
+			row.Faults.Reordered += s.Reordered
+			row.Faults.Corrupted += s.Corrupted
+			row.Faults.Cuts += s.Cuts
+			row.Faults.BytesShaped += s.BytesShaped
+		}
+		rs := n.ResilienceStats()
+		row.Resil.EpochDeaths += rs.EpochDeaths
+		row.Resil.DialAttempts += rs.DialAttempts
+		row.Resil.Resumes += rs.Resumes
+		row.Resil.ReplayedFrames += rs.ReplayedFrames
+		row.Resil.Rewinds += rs.Rewinds
+		row.Resil.GapKills += rs.GapKills
+		row.Resil.CrcKills += rs.CrcKills
+		row.Resil.DupFramesIn += rs.DupFramesIn
+		row.Resil.FramesOut += rs.FramesOut
+		row.Resil.FramesIn += rs.FramesIn
+		row.Resil.HeartbeatsOut += rs.HeartbeatsOut
+	}
+	return row, nil
+}

@@ -161,9 +161,9 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 		Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives,
 	}
 	for _, n := range []*pia.Node{n1, n2} {
-		_, bo, _, fo := n.WireStats()
-		row.FramesOut += fo
-		row.WireBytesOut += bo
+		ws := n.WireStats()
+		row.FramesOut += ws.FramesOut
+		row.WireBytesOut += ws.BytesOut
 	}
 	return row, nil
 }

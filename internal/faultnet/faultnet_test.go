@@ -1,0 +1,229 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// frame builds a length-prefixed frame with the given body.
+func frame(body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// sink collects everything written to it.
+type sink struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (s *sink) Write(p []byte) (int, error) { return s.buf.Write(p) }
+func (s *sink) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (s *sink) Close() error                { s.closed = true; return nil }
+
+// readFrames splits a byte stream back into frame bodies.
+func readFrames(t *testing.T, raw []byte) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for len(raw) > 0 {
+		if len(raw) < 4 {
+			t.Fatalf("trailing partial header: % x", raw)
+		}
+		n := binary.BigEndian.Uint32(raw[:4])
+		if len(raw) < 4+int(n) {
+			t.Fatalf("trailing partial frame")
+		}
+		out = append(out, raw[4:4+int(n)])
+		raw = raw[4+int(n):]
+	}
+	return out
+}
+
+func TestPassThroughWhenCalm(t *testing.T) {
+	s := &sink{}
+	l := NewLink("calm", Config{Seed: 1})
+	c := l.Wrap(s)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write(frame([]byte{byte(i), 0xAA})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := readFrames(t, s.buf.Bytes())
+	if len(got) != 5 {
+		t.Fatalf("forwarded %d frames, want 5", len(got))
+	}
+	for i, f := range got {
+		if f[0] != byte(i) {
+			t.Fatalf("frame %d reordered: %v", i, got)
+		}
+	}
+	if st := l.Stats(); st.Frames != 5 || st.Forwarded != 5 || st.Dropped+st.Duplicated+st.Corrupted+st.Reordered != 0 {
+		t.Fatalf("calm link stats: %+v", st)
+	}
+	if err := l.VerifyDigest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialWritesReassemble: frames split across many Write calls
+// (header and payload separately, and mid-payload) still come out as
+// whole frames.
+func TestPartialWritesReassemble(t *testing.T) {
+	s := &sink{}
+	l := NewLink("partial", Config{})
+	c := l.Wrap(s)
+	f := frame(bytes.Repeat([]byte{0x5C}, 100))
+	for i := 0; i < len(f); i += 7 {
+		end := i + 7
+		if end > len(f) {
+			end = len(f)
+		}
+		if _, err := c.Write(f[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := readFrames(t, s.buf.Bytes())
+	if len(got) != 1 || len(got[0]) != 100 {
+		t.Fatalf("reassembly broken: %d frames", len(got))
+	}
+}
+
+// TestDeterministicSchedule: two links with the same seed and name
+// apply byte-for-byte the same faults to the same traffic, and their
+// digests match the pure schedule replay.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.2, DupProb: 0.1, ReorderProb: 0.1, CorruptProb: 0.1}
+	run := func() ([]byte, Stats) {
+		s := &sink{}
+		l := NewLink("det", cfg)
+		c := l.Wrap(s)
+		for i := 0; i < 200; i++ {
+			if _, err := c.Write(frame([]byte{byte(i), byte(i >> 8), 0x77, 0x99})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.VerifyDigest(); err != nil {
+			t.Fatal(err)
+		}
+		return s.buf.Bytes(), l.Stats()
+	}
+	b1, st1 := run()
+	b2, st2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different byte streams")
+	}
+	if st1 != st2 {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", st1, st2)
+	}
+	if st1.Dropped == 0 || st1.Duplicated == 0 || st1.Corrupted == 0 || st1.Reordered == 0 {
+		t.Fatalf("schedule too tame for the probabilities: %+v", st1)
+	}
+	if st1.Digest != cfg.ScheduleDigest("det", st1.Frames) {
+		t.Fatal("live digest does not match schedule replay")
+	}
+	// A different seed must yield a different schedule.
+	other := cfg
+	other.Seed = 43
+	if other.ScheduleDigest("det", 200) == cfg.ScheduleDigest("det", 200) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// And a different link name, too.
+	if cfg.ScheduleDigest("other-link", 200) == cfg.ScheduleDigest("det", 200) {
+		t.Fatal("different link names produced identical schedules")
+	}
+}
+
+func TestCorruptionFlipsExactlyOneByte(t *testing.T) {
+	s := &sink{}
+	l := NewLink("corrupt", Config{Seed: 7, CorruptProb: 1.0})
+	c := l.Wrap(s)
+	body := bytes.Repeat([]byte{0}, 32)
+	if _, err := c.Write(frame(body)); err != nil {
+		t.Fatal(err)
+	}
+	got := readFrames(t, s.buf.Bytes())
+	if len(got) != 1 {
+		t.Fatalf("forwarded %d frames", len(got))
+	}
+	diff := 0
+	for _, b := range got[0] {
+		if b != 0 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestScriptedPartition(t *testing.T) {
+	s := &sink{}
+	l := NewLink("part", Config{Partitions: []Partition{{AtFrame: 3, Heal: 40 * time.Millisecond}}})
+	c := l.Wrap(s)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write(frame([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Broken() {
+		t.Fatal("link broken before the scripted frame")
+	}
+	_, err := c.Write(frame([]byte{3}))
+	if !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("frame 3 should cut the link, got %v", err)
+	}
+	if !s.closed {
+		t.Fatal("cut did not close the inner connection")
+	}
+	if !l.Broken() {
+		t.Fatal("link not broken after cut")
+	}
+	if _, err := l.Dial("tcp", "127.0.0.1:1"); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("dial during partition: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if l.Broken() {
+		t.Fatal("link did not heal")
+	}
+	if st := l.Stats(); st.Cuts != 1 {
+		t.Fatalf("cuts = %d, want 1", st.Cuts)
+	}
+	if err := l.VerifyDigest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePartitions(t *testing.T) {
+	ps, err := ParsePartitions("300:50,2000:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Partition{{300, 50 * time.Millisecond}, {2000, 100 * time.Millisecond}}
+	if len(ps) != 2 || ps[0] != want[0] || ps[1] != want[1] {
+		t.Fatalf("parsed %+v", ps)
+	}
+	if ps, err := ParsePartitions(""); err != nil || ps != nil {
+		t.Fatalf("empty script: %v %v", ps, err)
+	}
+	for _, bad := range []string{"x", "5", "5:-1", "10:5,3:5"} {
+		if _, err := ParsePartitions(bad); err == nil {
+			t.Fatalf("accepted bad script %q", bad)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	if !(Config{DropProb: 0.1}).Enabled() || !(Config{Latency: time.Millisecond}).Enabled() ||
+		!(Config{Partitions: []Partition{{1, 0}}}).Enabled() {
+		t.Fatal("non-zero config not enabled")
+	}
+}

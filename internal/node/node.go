@@ -10,17 +10,42 @@ package node
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/resilience"
 	"repro/internal/snapshot"
 	"repro/internal/vtime"
 	"repro/internal/wire"
 )
 
 func init() { channel.Register() }
+
+// ErrPeerLost is wrapped by every pump failure caused by losing the
+// remote node mid-run — a raw EOF, a dead TCP connection, or an
+// exhausted resilient session. A clean channel Close is not a peer
+// loss.
+var ErrPeerLost = errors.New("node: peer lost")
+
+// PeerLostError carries the context of a lost peer: which subsystem
+// vanished and the last channel sequence number processed from it.
+type PeerLostError struct {
+	Peer    string // peer subsystem name
+	LastSeq uint64 // last channel seq processed from the peer
+	Cause   error
+}
+
+func (e *PeerLostError) Error() string {
+	return fmt.Sprintf("node: peer %s lost after seq %d: %v", e.Peer, e.LastSeq, e.Cause)
+}
+
+// Unwrap makes errors.Is match both ErrPeerLost and the cause chain
+// (e.g. resilience.ErrSessionLost).
+func (e *PeerLostError) Unwrap() []error { return []error{ErrPeerLost, e.Cause} }
 
 // hello opens a channel: the dialing node announces which hosted
 // subsystem it wants to bind to which remote subsystem.
@@ -64,12 +89,22 @@ type Node struct {
 	mu     sync.Mutex
 	hosted map[string]*Hosted
 	ln     net.Listener
+	rln    *resilience.Listener
 	conns  []*wire.Conn
 	closed bool
 	wg     sync.WaitGroup
 
 	coalesce    channel.CoalesceConfig
 	coalesceSet bool
+
+	// Fault injection and session resilience, applied to every
+	// connection the node creates after the Set call.
+	faults    faultnet.Config
+	faultsSet bool
+	resil     resilience.Config
+	resilSet  bool
+	flinks    []*faultnet.Link
+	sessions  []*resilience.Session
 
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
@@ -148,22 +183,156 @@ func (n *Node) applyCoalescing(ep *channel.Endpoint) {
 	}
 }
 
+// SetFaults arms deterministic fault injection on every connection
+// the node creates from now on. Each dialed channel gets its own
+// faultnet link named "<node>-><remoteSub>"; the accepting side
+// shapes all accepted connections through one link named
+// "<node>/accept". Link names seed the per-link schedules, so the
+// full fault pattern is a pure function of (cfg.Seed, topology).
+// Call before Listen/Connect.
+func (n *Node) SetFaults(cfg faultnet.Config) {
+	n.mu.Lock()
+	n.faults = cfg
+	n.faultsSet = true
+	n.mu.Unlock()
+}
+
+// SetResilience arms the resumable session layer on every connection
+// the node creates from now on: channels then survive connection
+// loss, injected drops, corruption and partitions, and can fall back
+// to checkpoint rewinds. Call before Listen/Connect — both nodes of
+// a channel must agree (the session handshake is not spoken by a
+// plain node).
+func (n *Node) SetResilience(cfg resilience.Config) {
+	n.mu.Lock()
+	n.resil = cfg
+	n.resilSet = true
+	n.mu.Unlock()
+}
+
+func (n *Node) faultLink(name string) *faultnet.Link {
+	n.mu.Lock()
+	cfg, set := n.faults, n.faultsSet
+	n.mu.Unlock()
+	if !set || !cfg.Enabled() {
+		return nil
+	}
+	l := faultnet.NewLink(name, cfg)
+	l.Tracer = n.Tracer
+	n.mu.Lock()
+	n.flinks = append(n.flinks, l)
+	n.mu.Unlock()
+	return l
+}
+
+func (n *Node) resilient() (resilience.Config, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.resil, n.resilSet && n.resil.Enabled()
+}
+
+func (n *Node) addSession(s *resilience.Session) {
+	n.mu.Lock()
+	n.sessions = append(n.sessions, s)
+	n.mu.Unlock()
+}
+
+// BreakConns kills the current TCP connection of every resilient
+// session the node owns — chaos injection for reconnect tests. The
+// sessions survive and resume; plain (non-resilient) connections are
+// untouched.
+func (n *Node) BreakConns() {
+	n.mu.Lock()
+	sessions := append([]*resilience.Session(nil), n.sessions...)
+	n.mu.Unlock()
+	for _, s := range sessions {
+		s.BreakConn()
+	}
+}
+
+// FaultLinks returns the node's fault-injection links, one per
+// shaped connection path — the place to read per-link stats and
+// verify schedule digests.
+func (n *Node) FaultLinks() []*faultnet.Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]*faultnet.Link(nil), n.flinks...)
+}
+
+// FaultStats returns per-link fault-injection counters by link name.
+func (n *Node) FaultStats() map[string]faultnet.Stats {
+	out := make(map[string]faultnet.Stats)
+	for _, l := range n.FaultLinks() {
+		out[l.Name()] = l.Stats()
+	}
+	return out
+}
+
+// ResilienceStats sums the session counters across every resilient
+// connection the node owns.
+func (n *Node) ResilienceStats() resilience.Stats {
+	n.mu.Lock()
+	sessions := append([]*resilience.Session(nil), n.sessions...)
+	n.mu.Unlock()
+	var total resilience.Stats
+	for _, s := range sessions {
+		st := s.Stats()
+		total.EpochDeaths += st.EpochDeaths
+		total.DialAttempts += st.DialAttempts
+		total.Resumes += st.Resumes
+		total.ReplayedFrames += st.ReplayedFrames
+		total.Rewinds += st.Rewinds
+		total.GapKills += st.GapKills
+		total.CrcKills += st.CrcKills
+		total.DupFramesIn += st.DupFramesIn
+		total.FramesOut += st.FramesOut
+		total.FramesIn += st.FramesIn
+		total.HeartbeatsOut += st.HeartbeatsOut
+	}
+	return total
+}
+
+// agentOf returns the snapshot agent of a hosted subsystem under the
+// node lock — FinishAgents creates agents after channels are bound,
+// so resolution must happen at call time.
+func (n *Node) agentOf(sub string) *snapshot.Agent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h := n.hosted[sub]; h != nil {
+		return h.Agent
+	}
+	return nil
+}
+
+// rewindHooks builds the checkpoint hooks a resilient session
+// consults during a retention-miss rewind negotiation.
+func (n *Node) rewindHooks(sub string) (func() string, func(string) bool) {
+	latest := func() string {
+		if a := n.agentOf(sub); a != nil {
+			return a.LatestTag()
+		}
+		return ""
+	}
+	has := func(tag string) bool {
+		a := n.agentOf(sub)
+		return a != nil && a.HasTag(tag)
+	}
+	return latest, has
+}
+
 // WireStats sums the framing counters of every connection the node
 // owns: bytes and frames, in and out. The frame counts are what the
 // coalescing ablation reports — fewer frames for the same drives is
 // the whole point.
-func (n *Node) WireStats() (bytesIn, bytesOut, framesIn, framesOut int64) {
+func (n *Node) WireStats() wire.Stats {
 	n.mu.Lock()
 	conns := append([]*wire.Conn(nil), n.conns...)
 	n.mu.Unlock()
+	var total wire.Stats
 	for _, c := range conns {
-		bi, bo, fi, fo := c.Stats()
-		bytesIn += bi
-		bytesOut += bo
-		framesIn += fi
-		framesOut += fo
+		total.Add(c.Stats())
 	}
-	return
+	return total
 }
 
 // trace logs through the tracer if set.
@@ -174,11 +343,32 @@ func (n *Node) trace(format string, args ...any) {
 }
 
 // Listen starts accepting channel connections on addr (use ":0" for
-// an ephemeral port) and returns the bound address.
+// an ephemeral port) and returns the bound address. With resilience
+// armed, accepted connections speak the resumable session protocol
+// (and are shaped by the accept-side fault link, when faults are
+// armed too).
 func (n *Node) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("node %s: listen: %w", n.name, err)
+	}
+	if rcfg, ok := n.resilient(); ok {
+		rl := resilience.NewListener(ln, rcfg)
+		rl.Tracer = n.Tracer
+		if flink := n.faultLink(n.name + "/accept"); flink != nil {
+			rl.Wrap = flink.Wrap
+		}
+		n.mu.Lock()
+		n.ln = ln
+		n.rln = rl
+		n.mu.Unlock()
+		n.wg.Add(2)
+		go func() {
+			defer n.wg.Done()
+			rl.Serve()
+		}()
+		go n.acceptSessions(rl)
+		return ln.Addr().String(), nil
 	}
 	n.mu.Lock()
 	n.ln = ln
@@ -201,15 +391,38 @@ func (n *Node) acceptLoop(ln net.Listener) {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			if err := n.serveConn(wire.NewConn(c)); err != nil && !n.isClosed() {
+			if err := n.serveConn(wire.NewConn(c), nil); err != nil && !n.isClosed() {
 				n.trace("node %s: connection error: %v", n.name, err)
 			}
 		}()
 	}
 }
 
-// serveConn handles the server side of one channel connection.
-func (n *Node) serveConn(c *wire.Conn) error {
+// acceptSessions accepts resumable sessions: reconnects splice into
+// their existing session inside the resilience listener, so each
+// session surfaces here exactly once and pumps one channel for its
+// whole life, across any number of TCP connections.
+func (n *Node) acceptSessions(rl *resilience.Listener) {
+	defer n.wg.Done()
+	for {
+		sess, err := rl.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.addSession(sess)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.serveConn(wire.NewConn(sess), sess); err != nil && !n.isClosed() {
+				n.trace("node %s: connection error: %v", n.name, err)
+			}
+		}()
+	}
+}
+
+// serveConn handles the server side of one channel connection. sess
+// is non-nil when the connection is a resumable session.
+func (n *Node) serveConn(c *wire.Conn, sess *resilience.Session) error {
 	var h hello
 	if err := c.Recv(&h); err != nil {
 		c.Close()
@@ -228,6 +441,9 @@ func (n *Node) serveConn(c *wire.Conn) error {
 		return err
 	}
 	n.applyCoalescing(ep)
+	if sess != nil {
+		sess.SetRewindHooks(n.rewindHooks(h.ToSub))
+	}
 	if hosted.OnChannel != nil {
 		hosted.OnChannel(ep)
 	}
@@ -237,20 +453,54 @@ func (n *Node) serveConn(c *wire.Conn) error {
 	}
 	n.addConn(c)
 	n.trace("node %s: accepted channel %s <- %s@%s", n.name, h.ToSub, h.FromSub, h.FromNode)
-	return n.pump(c, ep)
+	return n.pump(c, ep, hosted, sess)
 }
 
 // Connect dials a remote node and opens a channel between the local
 // hosted subsystem and a subsystem hosted there. Both sides share
-// the policy and link model.
+// the policy and link model. With resilience armed the connection is
+// a resumable session that outlives any single TCP connection; with
+// faults armed every dial and every egress frame pass through a
+// deterministic fault link named "<node>-><remoteSub>".
 func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, link channel.LinkModel) (*channel.Endpoint, error) {
 	hosted := n.Hosted(localSub)
 	if hosted == nil {
 		return nil, fmt.Errorf("node %s hosts no subsystem %q", n.name, localSub)
 	}
-	c, err := wire.Dial(addr)
-	if err != nil {
-		return nil, err
+	flink := n.faultLink(n.name + "->" + remoteSub)
+	dialRaw := func() (io.ReadWriteCloser, error) {
+		if flink != nil {
+			return flink.Dial("tcp", addr)
+		}
+		tc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if t, ok := tc.(*net.TCPConn); ok {
+			t.SetNoDelay(true)
+		}
+		return tc, nil
+	}
+	var (
+		c    *wire.Conn
+		sess *resilience.Session
+	)
+	if rcfg, ok := n.resilient(); ok {
+		s, err := resilience.Dial(dialRaw, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: session to %s: %w", n.name, addr, err)
+		}
+		s.Tracer = n.Tracer
+		s.SetRewindHooks(n.rewindHooks(localSub))
+		n.addSession(s)
+		sess = s
+		c = wire.NewConn(s)
+	} else {
+		rwc, err := dialRaw()
+		if err != nil {
+			return nil, err
+		}
+		c = wire.NewConn(rwc)
 	}
 	if err := c.Send(hello{FromNode: n.name, FromSub: localSub, ToSub: remoteSub, Policy: uint8(policy), Link: link}); err != nil {
 		c.Close()
@@ -275,7 +525,7 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		if err := n.pump(c, ep); err != nil && !n.isClosed() {
+		if err := n.pump(c, ep, hosted, sess); err != nil && !n.isClosed() {
 			n.trace("node %s: channel to %s: %v", n.name, remoteSub, err)
 		}
 	}()
@@ -287,18 +537,34 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 // connection drops. Gob frames carry one message each (the legacy
 // path and the fallback); batch frames carry many. Both may
 // interleave freely on one connection — the sender picks per flush.
-func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint) error {
+//
+// On a resumable session, connection loss never reaches this loop —
+// the session reconnects and replays underneath. Two session events
+// do surface: a negotiated checkpoint rewind (handled in place, the
+// pump continues on the rewound timeline) and terminal session loss.
+// Any unrecoverable transport failure is wrapped in PeerLostError.
+func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint, h *Hosted, sess *resilience.Session) error {
 	dec := channel.NewBatchDecoder()
 	for {
 		kind, payload, err := c.RecvFrame()
 		if err != nil {
-			return err
+			var rw *resilience.RewoundError
+			if sess != nil && errors.As(err, &rw) {
+				if rerr := n.handleRewind(h, ep, sess, rw.Tag); rerr != nil {
+					return rerr
+				}
+				// Fresh timeline: the peer's encoder restarted from
+				// scratch, so batch-decoder state must too.
+				dec = channel.NewBatchDecoder()
+				continue
+			}
+			return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(), Cause: err}
 		}
 		switch kind {
 		case wire.FrameGob:
 			var f frame
 			if err := wire.DecodeGob(payload, &f); err != nil {
-				return err
+				return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(), Cause: err}
 			}
 			ep.OnMessage(f.Msg)
 			if f.Msg.Kind == channel.KindClose {
@@ -307,15 +573,45 @@ func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint) error {
 		case wire.FrameBatch:
 			closed, err := dec.DecodeBatch(payload, ep.OnMessage)
 			if err != nil {
-				return err
+				return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(), Cause: err}
 			}
 			if closed {
 				return nil
 			}
 		default:
-			return fmt.Errorf("node %s: unknown frame kind %d", n.name, kind)
+			return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(),
+				Cause: fmt.Errorf("node %s: unknown frame kind %d", n.name, kind)}
 		}
 	}
+}
+
+// handleRewind executes this node's share of a negotiated checkpoint
+// rewind: once everything the dead connection already delivered has
+// drained through the scheduler, the channel protocol resets, the
+// tagged snapshot restores, egress reopens, and the session stream
+// restarts from sequence one. Blocks the pump until the restore
+// completes — nothing may be read from the rewound session before
+// the protocol state is clean.
+func (n *Node) handleRewind(h *Hosted, ep *channel.Endpoint, sess *resilience.Session, tag string) error {
+	n.trace("node %s: rewinding channel %s to checkpoint %q", n.name, ep.Name(), tag)
+	agent := n.agentOf(h.Sub.Name())
+	if agent == nil {
+		return fmt.Errorf("node %s: rewind to %q with no snapshot agent", n.name, tag)
+	}
+	done := make(chan error, 1)
+	agent.RewindTo(tag,
+		func() { ep.ResetProtocol() },
+		func() {
+			// Reopen before the in-flight replay: replayed drives may
+			// forward across the channel immediately.
+			sess.ClearRewind()
+			ep.ResumeProtocol()
+		},
+		func(err error) { done <- err })
+	if err := <-done; err != nil {
+		return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(), Cause: err}
+	}
+	return nil
 }
 
 func (n *Node) addConn(c *wire.Conn) {
@@ -379,14 +675,21 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	ln := n.ln
+	rln := n.rln
 	conns := n.conns
+	sessions := n.sessions
 	n.mu.Unlock()
 	_ = n.CloseChannels()
-	if ln != nil {
+	if rln != nil {
+		rln.Close() // closes the net listener too
+	} else if ln != nil {
 		ln.Close()
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	for _, s := range sessions {
+		s.Close()
 	}
 	n.wg.Wait()
 	return nil

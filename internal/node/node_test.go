@@ -145,10 +145,10 @@ func TestRemoteCoalescedDelivery(t *testing.T) {
 	if st := ep.Stats(); st.Flushes == 0 || st.FlushedMsgs == 0 {
 		t.Fatalf("sender never batched: %+v", st)
 	}
-	_, _, _, framesOut := n1.WireStats()
-	if st := ep.Stats(); framesOut >= st.FlushedMsgs {
+	ws := n1.WireStats()
+	if st := ep.Stats(); ws.FramesOut >= st.FlushedMsgs {
 		t.Fatalf("coalescing sent %d frames for %d messages — no batching on the wire",
-			framesOut, st.FlushedMsgs)
+			ws.FramesOut, st.FlushedMsgs)
 	}
 }
 

@@ -1,0 +1,516 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// pair is one client/server session couple over loopback TCP, with a
+// dial hook the tests use to sever or injure the raw connection.
+type pair struct {
+	client, server *Session
+	ln             *Listener
+
+	mu   sync.Mutex
+	raw  net.Conn // latest raw conn dialed by the client
+	wrap func(io.ReadWriteCloser) io.ReadWriteCloser
+}
+
+func newPair(t *testing.T, cfg Config) *pair {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pair{}
+	p.ln = NewListener(ln, cfg)
+	go p.ln.Serve()
+	t.Cleanup(func() { p.ln.Close() })
+	addr := ln.Addr().String()
+	dial := func() (io.ReadWriteCloser, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.raw = c
+		wrap := p.wrap
+		p.mu.Unlock()
+		if wrap != nil {
+			return wrap(c), nil
+		}
+		return c, nil
+	}
+	accepted := make(chan *Session, 1)
+	go func() {
+		s, err := p.ln.Accept()
+		if err == nil {
+			accepted <- s
+		}
+	}()
+	p.client, err = Dial(dial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.client.Close() })
+	select {
+	case p.server = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener never surfaced the session")
+	}
+	t.Cleanup(func() { p.server.Close() })
+	return p
+}
+
+// killRaw severs the client's current raw TCP connection.
+func (p *pair) killRaw() {
+	p.mu.Lock()
+	raw := p.raw
+	p.mu.Unlock()
+	if raw != nil {
+		raw.Close()
+	}
+}
+
+// drain reads exactly n bytes from s, failing after a timeout.
+func drain(t *testing.T, s *Session, n int) []byte {
+	t.Helper()
+	out := make([]byte, 0, n)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		for len(out) < n {
+			k, err := s.Read(buf)
+			out = append(out, buf[:k]...)
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v after %d/%d bytes", err, len(out), n)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("drain: stuck at %d/%d bytes", len(out), n)
+	}
+	return out
+}
+
+// pattern builds a deterministic, self-describing payload.
+func pattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*7 + i>>9)
+	}
+	return out
+}
+
+func TestCleanBidirectionalStream(t *testing.T) {
+	p := newPair(t, Config{})
+	const n = 256 << 10
+	want := pattern(n)
+	go func() {
+		for i := 0; i < n; i += 8 << 10 {
+			p.client.Write(want[i : i+8<<10])
+		}
+	}()
+	go func() {
+		for i := 0; i < n; i += 8 << 10 {
+			p.server.Write(want[i : i+8<<10])
+		}
+	}()
+	if got := drain(t, p.server, n); !bytes.Equal(got, want) {
+		t.Fatal("client->server stream corrupted")
+	}
+	if got := drain(t, p.client, n); !bytes.Equal(got, want) {
+		t.Fatal("server->client stream corrupted")
+	}
+	if st := p.client.Stats(); st.EpochDeaths != 0 || st.Resumes != 1 {
+		t.Fatalf("clean run stats: %+v", st)
+	}
+}
+
+// TestResumeAfterConnKill severs the TCP connection repeatedly in the
+// middle of a transfer; the stream must come out exactly once, in
+// order, with no gaps.
+func TestResumeAfterConnKill(t *testing.T) {
+	p := newPair(t, Config{RetryBase: 5 * time.Millisecond})
+	const n = 512 << 10
+	want := pattern(n)
+	go func() {
+		for i := 0; i < n; i += 4 << 10 {
+			p.client.Write(want[i : i+4<<10])
+			if i%(128<<10) == 64<<10 {
+				p.killRaw() // mid-transfer cut
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	if got := drain(t, p.server, n); !bytes.Equal(got, want) {
+		t.Fatal("stream not continuous across connection kills")
+	}
+	st := p.client.Stats()
+	if st.EpochDeaths == 0 || st.Resumes < 2 {
+		t.Fatalf("expected kills and resumes, got %+v", st)
+	}
+	if st.ReplayedFrames == 0 {
+		t.Fatalf("resume never replayed retained frames: %+v", st)
+	}
+}
+
+// TestLossyLink runs the session over a faultnet link that drops,
+// duplicates, reorders and corrupts frames. Every injected fault must
+// surface as an epoch death plus resume, never as corrupted or lost
+// application bytes.
+func TestLossyLink(t *testing.T) {
+	link := faultnet.NewLink("lossy-test", faultnet.Config{
+		Seed: 99, DropProb: 0.02, DupProb: 0.02, ReorderProb: 0.02, CorruptProb: 0.02,
+	})
+	p := newPair(t, Config{
+		Heartbeat: 20 * time.Millisecond, HeartbeatMiss: 3,
+		RetryBase: 2 * time.Millisecond, RetryMax: 50,
+	})
+	p.mu.Lock()
+	p.wrap = link.Wrap
+	p.mu.Unlock()
+	p.killRaw() // force a redial so the link wraps the transport
+
+	const n = 256 << 10
+	want := pattern(n)
+	go func() {
+		for i := 0; i < n; i += 2 << 10 {
+			if _, err := p.client.Write(want[i : i+2<<10]); err != nil {
+				return
+			}
+		}
+	}()
+	if got := drain(t, p.server, n); !bytes.Equal(got, want) {
+		t.Fatal("stream corrupted across a lossy link")
+	}
+	if err := link.VerifyDigest(); err != nil {
+		t.Fatal(err)
+	}
+	lst := link.Stats()
+	if lst.Dropped+lst.Corrupted+lst.Reordered+lst.Duplicated == 0 {
+		t.Fatalf("link too calm to prove anything: %+v", lst)
+	}
+	sst := p.client.Stats()
+	if sst.EpochDeaths == 0 {
+		t.Fatalf("faults never killed an epoch: session %+v link %+v", sst, lst)
+	}
+}
+
+// blackhole swallows writes and blocks reads once tripped — a peer
+// that is silently gone, as opposed to a closed TCP connection.
+type blackhole struct {
+	inner io.ReadWriteCloser
+	mu    sync.Mutex
+	dead  bool
+}
+
+func (b *blackhole) trip() {
+	b.mu.Lock()
+	b.dead = true
+	b.mu.Unlock()
+	b.inner.Close() // unblock the pending read; reads turn into hangs below
+}
+
+func (b *blackhole) isDead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dead
+}
+
+func (b *blackhole) Read(p []byte) (int, error) {
+	if b.isDead() {
+		select {} // silent forever
+	}
+	n, err := b.inner.Read(p)
+	if err != nil && b.isDead() {
+		select {}
+	}
+	return n, err
+}
+
+func (b *blackhole) Write(p []byte) (int, error) {
+	if b.isDead() {
+		return len(p), nil
+	}
+	return b.inner.Write(p)
+}
+
+func (b *blackhole) Close() error { return b.inner.Close() }
+
+// TestHeartbeatDetectsSilentPeer: when the transport turns into a
+// black hole (no error, no data), heartbeat liveness must kill the
+// epoch and the redial must resume the stream.
+func TestHeartbeatDetectsSilentPeer(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		holes []*blackhole
+	)
+	p := newPair(t, Config{
+		Heartbeat: 10 * time.Millisecond, HeartbeatMiss: 3,
+		RetryBase: 2 * time.Millisecond, RetryMax: 20,
+	})
+	p.mu.Lock()
+	p.wrap = func(c io.ReadWriteCloser) io.ReadWriteCloser {
+		b := &blackhole{inner: c}
+		mu.Lock()
+		holes = append(holes, b)
+		mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	p.killRaw() // move onto a blackhole-wrapped transport
+
+	const n = 64 << 10
+	want := pattern(n)
+	half := n / 2
+	go func() {
+		for i := 0; i < half; i += 4 << 10 {
+			p.client.Write(want[i : i+4<<10])
+		}
+		// Wait for the redial to actually wrap a transport, then
+		// silently kill it.
+		for {
+			mu.Lock()
+			if len(holes) > 0 {
+				holes[0].trip()
+				mu.Unlock()
+				break
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+		for i := half; i < n; i += 4 << 10 {
+			p.client.Write(want[i : i+4<<10])
+		}
+	}()
+	if got := drain(t, p.server, n); !bytes.Equal(got, want) {
+		t.Fatal("stream not continuous across a silent peer death")
+	}
+	if st := p.client.Stats(); st.EpochDeaths == 0 || st.HeartbeatsOut == 0 {
+		t.Fatalf("heartbeat liveness never fired: %+v", st)
+	}
+}
+
+// TestRetryBudgetExhaustion: when the peer is unreachable for longer
+// than the retry budget, the session dies with ErrSessionLost.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	p := newPair(t, Config{RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond, RetryMax: 3})
+	p.ln.Close() // no more accepts
+	p.killRaw()
+	deadline := time.After(10 * time.Second)
+	for p.client.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("session never died")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !errors.Is(p.client.Err(), ErrSessionLost) {
+		t.Fatalf("terminal error %v, want ErrSessionLost", p.client.Err())
+	}
+	if _, err := p.client.Read(make([]byte, 16)); !errors.Is(err, ErrSessionLost) {
+		t.Fatalf("Read after loss: %v", err)
+	}
+}
+
+// TestRewindOnRetentionMiss: the client keeps writing through a long
+// outage until its retention evicts unacked frames; the resume then
+// negotiates a rewind to the latest common checkpoint, both sides see
+// RewoundError, and after ClearRewind the stream works from scratch.
+func TestRewindOnRetentionMiss(t *testing.T) {
+	p := newPair(t, Config{
+		RetryBase: 2 * time.Millisecond, RetryMax: 100,
+		RetentionFrames: 8,
+	})
+	hooks := func(s *Session) {
+		s.SetRewindHooks(func() string { return "ckpt-7" }, func(tag string) bool { return tag == "ckpt-7" })
+	}
+	hooks(p.client)
+	hooks(p.server)
+
+	// Sever the link, then write far past the retention window so the
+	// evicted frames can never be replayed.
+	p.ln.mu.Lock() // pause the accept loop is not possible; instead kill and burn retention fast
+	p.ln.mu.Unlock()
+	p.killRaw()
+	for i := 0; i < 64; i++ {
+		if _, err := p.client.Write(pattern(1 << 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitRewound := func(s *Session, side string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			_, err := s.Read(make([]byte, 1024))
+			var rw *RewoundError
+			if errors.As(err, &rw) {
+				if rw.Tag != "ckpt-7" {
+					t.Fatalf("%s rewound to %q", side, rw.Tag)
+				}
+				s.ClearRewind()
+				return
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", side, err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never saw the rewind", side)
+			}
+		}
+	}
+	waitRewound(p.client, "client")
+	waitRewound(p.server, "server")
+
+	// The stream restarts clean: fresh bytes flow end to end.
+	want := pattern(32 << 10)
+	go func() {
+		for i := 0; i < len(want); i += 4 << 10 {
+			p.client.Write(want[i : i+4<<10])
+		}
+	}()
+	if got := drain(t, p.server, len(want)); !bytes.Equal(got, want) {
+		t.Fatal("stream broken after rewind")
+	}
+	if st := p.client.Stats(); st.Rewinds != 1 {
+		t.Fatalf("client rewinds = %d, want 1: %+v", st.Rewinds, st)
+	}
+	if st := p.server.Stats(); st.Rewinds != 1 {
+		t.Fatalf("server rewinds = %d, want 1: %+v", st.Rewinds, st)
+	}
+}
+
+// TestRewindWithoutHooksIsTerminal: a retention miss with no
+// checkpoint hooks installed must kill the session, not hang it.
+func TestRewindWithoutHooksIsTerminal(t *testing.T) {
+	p := newPair(t, Config{
+		RetryBase: 2 * time.Millisecond, RetryMax: 100,
+		RetentionFrames: 4,
+	})
+	p.killRaw()
+	for i := 0; i < 32; i++ {
+		p.client.Write(pattern(1 << 10))
+	}
+	deadline := time.After(10 * time.Second)
+	for p.client.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("session without checkpoints survived a retention miss")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !errors.Is(p.client.Err(), ErrSessionLost) {
+		t.Fatalf("terminal error %v", p.client.Err())
+	}
+}
+
+// TestDataIntegrityAcrossManyEpochs hammers the kill path while
+// verifying a large checksum-friendly payload end to end.
+func TestDataIntegrityAcrossManyEpochs(t *testing.T) {
+	p := newPair(t, Config{RetryBase: time.Millisecond})
+	const n = 1 << 20
+	want := pattern(n)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(7 * time.Millisecond):
+				p.killRaw()
+			}
+		}
+	}()
+	go func() {
+		for i := 0; i < n; i += 16 << 10 {
+			if _, err := p.client.Write(want[i : i+16<<10]); err != nil {
+				return
+			}
+		}
+	}()
+	got := drain(t, p.server, n)
+	close(stop)
+	if !bytes.Equal(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("first divergence at byte %d of %d", i, n)
+			}
+		}
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	if !(Config{Heartbeat: time.Second}).Enabled() {
+		t.Fatal("non-zero config disabled")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	h := hello{SessionID: 7, RecvNext: 42, Lowest: 3, Tag: "snap-9"}
+	typ, body, err := readEnvelope(bytes.NewReader(encodeHello(h)))
+	if err != nil || typ != typeHello {
+		t.Fatalf("hello: %v type %d", err, typ)
+	}
+	got, err := decodeHello(body)
+	if err != nil || got != h {
+		t.Fatalf("hello round trip: %+v %v", got, err)
+	}
+	a := helloAck{Status: statusRewind, SessionID: 7, RecvNext: 9, Tag: "snap-9"}
+	typ, body, err = readEnvelope(bytes.NewReader(encodeHelloAck(a)))
+	if err != nil || typ != typeHelloAck {
+		t.Fatalf("ack: %v type %d", err, typ)
+	}
+	gotA, err := decodeHelloAck(body)
+	if err != nil || gotA != a {
+		t.Fatalf("ack round trip: %+v %v", gotA, err)
+	}
+	// Corruption must be detected.
+	env := encodeData(5, 4, []byte("payload"))
+	env[len(env)-6] ^= 0x40
+	if _, _, err := readEnvelope(bytes.NewReader(env)); err == nil {
+		t.Fatal("corrupted envelope accepted")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	p := newPair(t, Config{})
+	msg := []byte("hello over the wan")
+	if _, err := p.client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, p.server, len(msg))
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload mismatch")
+	}
+	if st := p.client.Stats(); st.FramesOut != 1 {
+		t.Fatalf("client FramesOut = %d", st.FramesOut)
+	}
+	if st := p.server.Stats(); st.FramesIn != 1 {
+		t.Fatalf("server FramesIn = %d", st.FramesIn)
+	}
+	if p.client.ID() == 0 || p.client.ID() != p.server.ID() {
+		t.Fatalf("session ids: client %d server %d", p.client.ID(), p.server.ID())
+	}
+	_ = fmt.Sprintf("%v", p.client.Stats()) // Stats must be plain data
+}

@@ -1,0 +1,778 @@
+// Package resilience makes Pia's cross-node channels survive the
+// network the paper actually targets: geographically distributed,
+// unreliable links. It layers a session protocol between TCP (or a
+// faultnet-shaped stream) and the wire framing:
+//
+//   - every chunk of application bytes travels in a checksummed
+//     envelope with a session sequence number and a piggybacked
+//     cumulative ack;
+//   - the sender retains unacked envelopes in a bounded egress buffer;
+//   - any anomaly — connection loss, a sequence gap from a dropped
+//     frame, a checksum failure from corruption — kills the current
+//     connection epoch, and the dialing side reconnects with
+//     exponential backoff, jitter and a retry budget;
+//   - the resume handshake replays retained envelopes, so the
+//     application sees one continuous, exactly-once, in-order byte
+//     stream across any number of reconnects;
+//   - when the retention buffer can no longer cover the peer's loss,
+//     the handshake negotiates a rewind to a common checkpoint tag
+//     instead — the paper's §2.1.2 checkpoint/restore mechanism,
+//     promoted from sync-violation recovery to link-failure recovery;
+//   - heartbeats bound how long a dead peer can go unnoticed.
+//
+// A Session implements io.ReadWriteCloser; wire.Conn runs on top
+// unchanged.
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrSessionLost is wrapped by every terminal session failure: retry
+// budget exhausted, peer rejection, heartbeat timeout with no
+// reconnect, or an explicit Close.
+var ErrSessionLost = errors.New("resilience: session lost")
+
+// RewoundError signals that the session negotiated a checkpoint
+// rewind: the byte stream was reset on both sides and the application
+// must restore the tagged checkpoint, then call ClearRewind and
+// resume with fresh framing. Read returns it (repeatedly) until
+// ClearRewind; concurrent Writes are discarded, since they belong to
+// the timeline the rewind abandons.
+type RewoundError struct{ Tag string }
+
+func (e *RewoundError) Error() string {
+	return fmt.Sprintf("resilience: session rewound to checkpoint %q", e.Tag)
+}
+
+// Config tunes a session. The zero value is usable: see withDefaults.
+type Config struct {
+	// Heartbeat is the idle keepalive interval; 0 disables
+	// heartbeats and liveness detection.
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many silent heartbeat intervals kill the
+	// connection epoch (default 4).
+	HeartbeatMiss int
+	// PeerTimeout bounds how long a session may sit with no
+	// connection before it is declared lost; 0 means wait forever
+	// (the dialing side's retry budget still applies).
+	PeerTimeout time.Duration
+
+	// RetryBase is the first reconnect backoff (default 20ms); the
+	// delay doubles per attempt up to RetryCap (default 2s), with
+	// ±50% jitter. RetryMax attempts per outage (default 10).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	RetryMax  int
+
+	// RetentionFrames and RetentionBytes bound the unacked egress
+	// kept for resume replay (defaults 65536 frames, 32 MB). When an
+	// outage outlives the retention, the next resume negotiates a
+	// checkpoint rewind instead of a replay.
+	RetentionFrames int
+	RetentionBytes  int
+
+	// HandshakeTimeout bounds one hello/ack exchange (default 5s).
+	HandshakeTimeout time.Duration
+
+	// Seed drives backoff jitter.
+	Seed int64
+}
+
+// Enabled reports whether the config was explicitly populated; an
+// all-zero config leaves the resilience layer off in the node stack.
+func (c Config) Enabled() bool { return c != Config{} }
+
+// DefaultConfig is a reasonable WAN policy: 1s heartbeats, generous
+// retention, ten reconnect attempts per outage.
+var DefaultConfig = Config{Heartbeat: time.Second}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 20 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 10
+	}
+	if c.RetentionFrames <= 0 {
+		c.RetentionFrames = 1 << 16
+	}
+	if c.RetentionBytes <= 0 {
+		c.RetentionBytes = 32 << 20
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Stats counts session activity.
+type Stats struct {
+	EpochDeaths    int64 // connection epochs killed (loss, gap, crc, heartbeat)
+	DialAttempts   int64
+	Resumes        int64 // successful resume handshakes (incl. the first)
+	ReplayedFrames int64 // retained envelopes resent on resume
+	Rewinds        int64 // checkpoint rewinds negotiated
+	GapKills       int64 // epochs killed by a sequence gap
+	CrcKills       int64 // epochs killed by a checksum failure
+	DupFramesIn    int64 // duplicate envelopes discarded by seq
+	FramesOut      int64
+	FramesIn       int64
+	HeartbeatsOut  int64
+}
+
+// retFrame is one retained egress envelope.
+type retFrame struct {
+	seq uint64
+	env []byte
+}
+
+// Session is one reliable, resumable byte stream between two nodes.
+// It implements io.ReadWriteCloser. Reads and writes are safe for
+// one reader and any number of writers (writes are serialized).
+type Session struct {
+	cfg  Config
+	dial func() (io.ReadWriteCloser, error) // nil on the accepting side
+
+	// wmu serializes all connection writes (data, replay,
+	// heartbeats) so envelopes leave in seq order. Lock order: wmu
+	// before mu; never take wmu while holding mu.
+	wmu sync.Mutex
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	id   uint64
+	conn io.ReadWriteCloser // current epoch, nil while down
+	err  error              // terminal
+	done chan struct{}      // closed at terminal failure or Close
+
+	// Egress.
+	nextSeq     uint64 // next data seq to assign (first is 1)
+	retention   []retFrame
+	retBytes    int
+	lowestAvail uint64 // lowest seq still replayable
+
+	// Ingress.
+	recvNext    uint64 // next data seq expected
+	rbuf        bytes.Buffer
+	lastTraffic time.Time
+	ackStall    time.Time // last time the peer's acks made progress
+
+	// Rewind.
+	rewindPending bool
+	rewindTag     string
+	latestTag     func() string     // latest completed checkpoint tag
+	hasTag        func(string) bool // is the tag restorable here?
+
+	rng   *rand.Rand // backoff jitter; guarded by mu
+	stats Stats
+
+	// Tracer receives connection-level diagnostics.
+	Tracer func(string)
+}
+
+func newSession(cfg Config, dial func() (io.ReadWriteCloser, error)) *Session {
+	s := &Session{
+		cfg:         cfg.withDefaults(),
+		dial:        dial,
+		done:        make(chan struct{}),
+		nextSeq:     1,
+		recvNext:    1,
+		lowestAvail: 1,
+		lastTraffic: time.Now(),
+		ackStall:    time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.rng = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed5e551))
+	return s
+}
+
+// Dial establishes a new session over connections produced by dialFn
+// (plain TCP, or a faultnet link's Dial). The first handshake happens
+// synchronously; later reconnects are automatic.
+func Dial(dialFn func() (io.ReadWriteCloser, error), cfg Config) (*Session, error) {
+	s := newSession(cfg, dialFn)
+	if err := s.reconnect(); err != nil {
+		s.fail(err)
+		return nil, err
+	}
+	go s.redialLoop()
+	s.startKeepalive()
+	return s, nil
+}
+
+// ID returns the session id assigned by the accepting side.
+func (s *Session) ID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.id
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SetRewindHooks installs the checkpoint hooks the rewind negotiation
+// consults: latest() names this side's most recent completed
+// checkpoint tag, has(tag) reports whether a tag is restorable here.
+// Until both sides have hooks, a retention miss is terminal instead
+// of rewinding.
+func (s *Session) SetRewindHooks(latest func() string, has func(string) bool) {
+	s.mu.Lock()
+	s.latestTag = latest
+	s.hasTag = has
+	s.mu.Unlock()
+}
+
+// ClearRewind acknowledges a RewoundError: the application has
+// restored the checkpoint and the stream may flow again.
+func (s *Session) ClearRewind() {
+	s.mu.Lock()
+	s.rewindPending = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Session) trace(format string, args ...any) {
+	if s.Tracer != nil {
+		s.Tracer(fmt.Sprintf(format, args...))
+	}
+}
+
+// Write chunks p into data envelopes: each gets a sequence number, is
+// retained for resume replay, and is sent on the current connection
+// if one is up. A down link does not fail Write — bytes accumulate in
+// retention and flow on resume. Writes during a pending rewind are
+// discarded: they belong to the abandoned timeline.
+func (s *Session) Write(p []byte) (int, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		chunk := p[:n]
+		p = p[n:]
+		s.mu.Lock()
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return total, err
+		}
+		if s.rewindPending {
+			s.mu.Unlock()
+			total += n
+			continue
+		}
+		seq := s.nextSeq
+		s.nextSeq++
+		env := encodeData(seq, s.recvNext-1, chunk)
+		s.retainLocked(seq, env)
+		conn := s.conn
+		s.stats.FramesOut++
+		s.mu.Unlock()
+		if conn != nil {
+			if _, err := conn.Write(env); err != nil {
+				// Not fatal: retention holds the envelope; the epoch
+				// dies and resume will replay it.
+				s.epochDead(conn, fmt.Errorf("write: %w", err))
+			}
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// retainLocked appends an envelope to the retention buffer, evicting
+// the oldest entries when over budget. Caller holds s.mu.
+func (s *Session) retainLocked(seq uint64, env []byte) {
+	if len(s.retention) == 0 {
+		s.ackStall = time.Now()
+	}
+	s.retention = append(s.retention, retFrame{seq: seq, env: env})
+	s.retBytes += len(env)
+	for (s.cfg.RetentionFrames > 0 && len(s.retention) > s.cfg.RetentionFrames) ||
+		(s.cfg.RetentionBytes > 0 && s.retBytes > s.cfg.RetentionBytes) {
+		s.retBytes -= len(s.retention[0].env)
+		s.retention = s.retention[1:]
+	}
+	if len(s.retention) > 0 {
+		s.lowestAvail = s.retention[0].seq
+	} else {
+		s.lowestAvail = s.nextSeq
+	}
+}
+
+// pruneLocked drops retained envelopes covered by a cumulative ack.
+// Caller holds s.mu.
+func (s *Session) pruneLocked(ack uint64) error {
+	if ack >= s.nextSeq {
+		return fmt.Errorf("resilience: peer acked %d beyond our %d", ack, s.nextSeq-1)
+	}
+	i := 0
+	for i < len(s.retention) && s.retention[i].seq <= ack {
+		s.retBytes -= len(s.retention[i].env)
+		i++
+	}
+	if i > 0 {
+		s.ackStall = time.Now()
+	}
+	s.retention = s.retention[i:]
+	if len(s.retention) > 0 {
+		s.lowestAvail = s.retention[0].seq
+	} else {
+		s.lowestAvail = s.nextSeq
+	}
+	return nil
+}
+
+// Read delivers in-order session bytes. It blocks until data, a
+// negotiated rewind (RewoundError until ClearRewind), or terminal
+// failure.
+func (s *Session) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.rewindPending {
+			return 0, &RewoundError{Tag: s.rewindTag}
+		}
+		if s.rbuf.Len() > 0 {
+			return s.rbuf.Read(p)
+		}
+		if s.err != nil {
+			return 0, s.err
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close terminates the session.
+func (s *Session) Close() error {
+	s.fail(fmt.Errorf("%w: closed", ErrSessionLost))
+	return nil
+}
+
+// fail makes the session terminally dead.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+		close(s.done)
+		if s.conn != nil {
+			s.conn.Close()
+			s.conn = nil
+		}
+		s.cond.Broadcast()
+		id := s.id
+		s.mu.Unlock()
+		s.trace("resilience session %d: terminal: %v", id, err)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// BreakConn kills the current connection epoch as if the transport
+// had died — the chaos-injection entry point for "kill the TCP
+// connection mid-run". The session survives: the dialing side
+// reconnects and resumes. A no-op while the session is between
+// epochs.
+func (s *Session) BreakConn() {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		s.epochDead(conn, errors.New("resilience: connection killed by chaos injection"))
+	}
+}
+
+// Err returns the terminal error, if the session is dead.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// epochDead retires one connection epoch. The session itself stays
+// alive: the dialing side's redial loop takes over, the accepting
+// side waits for the peer to come back.
+func (s *Session) epochDead(conn io.ReadWriteCloser, cause error) {
+	s.mu.Lock()
+	if s.conn == conn && conn != nil {
+		s.conn = nil
+		s.stats.EpochDeaths++
+		id := s.id
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		conn.Close()
+		s.trace("resilience session %d: epoch died: %v", id, cause)
+		return
+	}
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// attach splices a fresh connection epoch into the session and
+// replays retained envelopes the peer has not seen. Caller must not
+// hold wmu or mu.
+func (s *Session) attach(conn io.ReadWriteCloser, peerRecvNext uint64) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if s.conn != nil {
+		old := s.conn
+		s.conn = nil
+		old.Close()
+	}
+	if peerRecvNext > 0 {
+		_ = s.pruneLocked(peerRecvNext - 1)
+	}
+	var replay []retFrame
+	for _, f := range s.retention {
+		if f.seq >= peerRecvNext {
+			replay = append(replay, f)
+		}
+	}
+	s.conn = conn
+	s.lastTraffic = time.Now()
+	s.ackStall = time.Now()
+	s.stats.Resumes++
+	s.stats.ReplayedFrames += int64(len(replay))
+	s.mu.Unlock()
+	go s.readLoop(conn)
+	for _, f := range replay {
+		if _, err := conn.Write(f.env); err != nil {
+			s.epochDead(conn, fmt.Errorf("replay: %w", err))
+			return
+		}
+	}
+	if len(replay) > 0 {
+		s.trace("resilience session %d: resumed, replayed %d envelopes from seq %d",
+			s.ID(), len(replay), replay[0].seq)
+	}
+}
+
+// resetForRewind clears all stream state for a negotiated checkpoint
+// rewind and arms the RewoundError the application must observe.
+func (s *Session) resetForRewind(tag string) {
+	s.mu.Lock()
+	s.retention = nil
+	s.retBytes = 0
+	s.nextSeq = 1
+	s.recvNext = 1
+	s.lowestAvail = 1
+	s.rbuf.Reset()
+	s.rewindPending = true
+	s.rewindTag = tag
+	s.stats.Rewinds++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.trace("resilience session %d: rewinding to checkpoint %q", s.ID(), tag)
+}
+
+// readLoop consumes envelopes from one connection epoch until it
+// dies.
+func (s *Session) readLoop(conn io.ReadWriteCloser) {
+	for {
+		typ, body, err := readEnvelope(conn)
+		if err != nil {
+			s.mu.Lock()
+			crc := s.conn == conn && isCRCish(err)
+			if crc {
+				s.stats.CrcKills++
+			}
+			s.mu.Unlock()
+			s.epochDead(conn, err)
+			return
+		}
+		if fatal := s.handleEnvelope(conn, typ, body); fatal != nil {
+			s.epochDead(conn, fatal)
+			return
+		}
+	}
+}
+
+// isCRCish classifies an envelope error as corruption (vs transport
+// loss) for the stats.
+func isCRCish(err error) bool {
+	return err != nil && (containsStr(err.Error(), "checksum") || containsStr(err.Error(), "out of range"))
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// handleEnvelope processes one validated envelope; a non-nil return
+// kills the epoch.
+func (s *Session) handleEnvelope(conn io.ReadWriteCloser, typ byte, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != conn {
+		return fmt.Errorf("superseded epoch")
+	}
+	s.lastTraffic = time.Now()
+	switch typ {
+	case typeData:
+		if len(body) < 16 {
+			return fmt.Errorf("short data envelope")
+		}
+		seq := beUint64(body[0:8])
+		ack := beUint64(body[8:16])
+		if err := s.pruneLocked(ack); err != nil {
+			return err
+		}
+		switch {
+		case seq == s.recvNext:
+			s.rbuf.Write(body[16:])
+			s.recvNext++
+			s.stats.FramesIn++
+			s.cond.Broadcast()
+		case seq < s.recvNext:
+			s.stats.DupFramesIn++ // replay overlap or faultnet dup
+		default:
+			s.stats.GapKills++
+			return fmt.Errorf("sequence gap: got %d, want %d", seq, s.recvNext)
+		}
+	case typeHeartbeat:
+		if len(body) != 8 {
+			return fmt.Errorf("short heartbeat")
+		}
+		if err := s.pruneLocked(beUint64(body)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unexpected envelope type %d mid-stream", typ)
+	}
+	return nil
+}
+
+func beUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[7]) | uint64(b[6])<<8 | uint64(b[5])<<16 | uint64(b[4])<<24 |
+		uint64(b[3])<<32 | uint64(b[2])<<40 | uint64(b[1])<<48 | uint64(b[0])<<56
+}
+
+// redialLoop (dialing side only) watches for dead epochs and
+// reconnects.
+func (s *Session) redialLoop() {
+	for {
+		s.mu.Lock()
+		for s.conn != nil && s.err == nil {
+			s.cond.Wait()
+		}
+		dead := s.err != nil
+		s.mu.Unlock()
+		if dead {
+			return
+		}
+		if err := s.reconnect(); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// reconnect dials and handshakes with exponential backoff until the
+// retry budget runs out.
+func (s *Session) reconnect() error {
+	var last error
+	for attempt := 0; attempt < s.cfg.RetryMax; attempt++ {
+		if attempt > 0 || s.ID() != 0 {
+			s.sleepBackoff(attempt)
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.stats.DialAttempts++
+		s.mu.Unlock()
+		conn, err := s.dial()
+		if err != nil {
+			last = err
+			continue
+		}
+		if err := s.clientHandshake(conn); err != nil {
+			conn.Close()
+			if errors.Is(err, ErrSessionLost) {
+				return err
+			}
+			s.trace("resilience session %d: handshake attempt %d failed: %v", s.ID(), attempt, err)
+			last = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: retry budget exhausted after %d attempts: %v", ErrSessionLost, s.cfg.RetryMax, last)
+}
+
+// sleepBackoff waits the jittered exponential delay for an attempt.
+func (s *Session) sleepBackoff(attempt int) {
+	d := s.cfg.RetryBase << uint(attempt)
+	if d > s.cfg.RetryCap || d <= 0 {
+		d = s.cfg.RetryCap
+	}
+	s.mu.Lock()
+	jitter := 0.5 + s.rng.Float64()
+	s.mu.Unlock()
+	t := time.NewTimer(time.Duration(float64(d) * jitter))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.done:
+	}
+}
+
+// clientHandshake runs the dialing side of the hello exchange on a
+// fresh raw connection.
+func (s *Session) clientHandshake(conn io.ReadWriteCloser) error {
+	s.mu.Lock()
+	h := hello{SessionID: s.id, RecvNext: s.recvNext, Lowest: s.lowestAvail}
+	if s.latestTag != nil {
+		h.Tag = s.latestTag()
+	}
+	s.mu.Unlock()
+	setReadDeadline(conn, time.Now().Add(s.cfg.HandshakeTimeout))
+	if _, err := conn.Write(encodeHello(h)); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	typ, body, err := readEnvelope(conn)
+	if err != nil {
+		return fmt.Errorf("hello ack: %w", err)
+	}
+	setReadDeadline(conn, time.Time{})
+	if typ != typeHelloAck {
+		return fmt.Errorf("expected hello ack, got type %d", typ)
+	}
+	ack, err := decodeHelloAck(body)
+	if err != nil {
+		return err
+	}
+	switch ack.Status {
+	case statusOK:
+		s.mu.Lock()
+		s.id = ack.SessionID
+		s.mu.Unlock()
+		s.attach(conn, ack.RecvNext)
+		return nil
+	case statusRewind:
+		s.mu.Lock()
+		ok := s.hasTag != nil && ack.Tag != "" && s.hasTag(ack.Tag)
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: peer ordered rewind to unknown checkpoint %q", ErrSessionLost, ack.Tag)
+		}
+		s.resetForRewind(ack.Tag)
+		s.attach(conn, 1)
+		return nil
+	default:
+		return fmt.Errorf("%w: peer rejected resume", ErrSessionLost)
+	}
+}
+
+// startKeepalive launches the heartbeat/liveness goroutine when the
+// config asks for one.
+func (s *Session) startKeepalive() {
+	if s.cfg.Heartbeat <= 0 && s.cfg.PeerTimeout <= 0 {
+		return
+	}
+	go s.keepaliveLoop()
+}
+
+func (s *Session) keepaliveLoop() {
+	interval := s.cfg.Heartbeat
+	if interval <= 0 {
+		interval = s.cfg.PeerTimeout / 4
+	}
+	if interval <= 0 {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		conn := s.conn
+		idle := time.Since(s.lastTraffic)
+		ack := s.recvNext - 1
+		unacked := len(s.retention)
+		stalled := time.Since(s.ackStall)
+		s.mu.Unlock()
+		if conn == nil {
+			if s.cfg.PeerTimeout > 0 && idle > s.cfg.PeerTimeout {
+				s.fail(fmt.Errorf("%w: no connection for %v", ErrSessionLost, idle.Round(time.Millisecond)))
+				return
+			}
+			continue
+		}
+		if s.cfg.Heartbeat > 0 && idle > s.cfg.Heartbeat*time.Duration(s.cfg.HeartbeatMiss) {
+			s.epochDead(conn, fmt.Errorf("heartbeat: peer silent for %v", idle.Round(time.Millisecond)))
+			continue
+		}
+		// Retransmission timeout: egress the peer never acks (e.g. a
+		// tail frame dropped by the network with no follow-up traffic
+		// to expose the gap) is recovered by killing the epoch — the
+		// resume handshake replays everything unacked.
+		if s.cfg.Heartbeat > 0 && unacked > 0 && stalled > s.cfg.Heartbeat*time.Duration(s.cfg.HeartbeatMiss) {
+			s.epochDead(conn, fmt.Errorf("ack stall: %d envelopes unacked for %v", unacked, stalled.Round(time.Millisecond)))
+			continue
+		}
+		if s.cfg.Heartbeat > 0 {
+			env := encodeHeartbeat(ack)
+			s.wmu.Lock()
+			s.mu.Lock()
+			cur := s.conn
+			s.mu.Unlock()
+			if cur == conn {
+				if _, err := conn.Write(env); err != nil {
+					s.wmu.Unlock()
+					s.epochDead(conn, fmt.Errorf("heartbeat write: %w", err))
+					continue
+				}
+				s.mu.Lock()
+				s.stats.HeartbeatsOut++
+				s.mu.Unlock()
+			}
+			s.wmu.Unlock()
+		}
+	}
+}
+
+// setReadDeadline applies a read deadline when the stream supports
+// one (net.Conn and faultnet.Conn do).
+func setReadDeadline(c io.ReadWriteCloser, t time.Time) {
+	if d, ok := c.(interface{ SetReadDeadline(time.Time) error }); ok {
+		_ = d.SetReadDeadline(t)
+	}
+}

@@ -23,6 +23,7 @@ package snapshot
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -61,13 +62,19 @@ type Agent struct {
 	sub *core.Subsystem
 	hub *channel.Hub
 
-	states    map[string]*state
+	states map[string]*state
+
+	// mu guards done and doneOrder: they are written on the scheduler
+	// goroutine but read by the resilience layer's rewind hooks from
+	// session goroutines.
+	mu        sync.Mutex
 	done      map[string]*Snapshot
 	doneOrder []string
-	restored  map[string]bool // restore tokens already executed
-	initSeq   int
-	rstSeq    int
-	err       error
+
+	restored map[string]bool // restore tokens already executed
+	initSeq  int
+	rstSeq   int
+	err      error
 
 	// OnComplete fires (on the scheduler goroutine) when this
 	// subsystem's share of a snapshot is complete.
@@ -174,11 +181,17 @@ func (a *Agent) Initiate() string {
 }
 
 // Completed returns the finished snapshot for a tag, or nil.
-func (a *Agent) Completed(tag string) *Snapshot { return a.done[tag] }
+func (a *Agent) Completed(tag string) *Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done[tag]
+}
 
 // LatestBefore returns the most recent completed snapshot whose cut
 // time is <= t, or nil.
 func (a *Agent) LatestBefore(t vtime.Time) *Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for i := len(a.doneOrder) - 1; i >= 0; i-- {
 		s := a.done[a.doneOrder[i]]
 		if s.Checkpoint != nil && s.Checkpoint.Time <= t {
@@ -188,12 +201,82 @@ func (a *Agent) LatestBefore(t vtime.Time) *Snapshot {
 	return nil
 }
 
+// LatestTag returns the most recent completed snapshot tag, or "".
+// Safe from any goroutine — this is the resilience layer's
+// latest-checkpoint rewind hook.
+func (a *Agent) LatestTag() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.doneOrder) - 1; i >= 0; i-- {
+		if s := a.done[a.doneOrder[i]]; s != nil && s.Checkpoint != nil {
+			return a.doneOrder[i]
+		}
+	}
+	return ""
+}
+
+// HasTag reports whether the tagged snapshot completed here. Safe
+// from any goroutine — the resilience layer's tag-check rewind hook.
+func (a *Agent) HasTag(tag string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.done[tag]
+	return s != nil && s.Checkpoint != nil
+}
+
+// RewindTo restores the tagged snapshot locally in response to a
+// session-level rewind (the peer is doing the same; no restore orders
+// travel the channel, which has just been reset). The work runs on
+// the scheduler goroutine after everything already queued — including
+// every message of the dead connection epoch — has been processed.
+// Hook order: beforeRestore fires first (the node layer resets the
+// channel protocol there), then the checkpoint restore; beforeReplay
+// fires between the restore and the in-flight replay (the node layer
+// reopens channel egress there, since replayed drives may forward
+// across the channel immediately); done fires last with the outcome.
+// Safe from any goroutine.
+func (a *Agent) RewindTo(tag string, beforeRestore, beforeReplay func(), done func(error)) {
+	fail := func(err error) {
+		if a.err == nil {
+			a.err = err
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+	a.sub.InjectFunc(func() bool {
+		if beforeRestore != nil {
+			beforeRestore()
+		}
+		snap := a.Completed(tag)
+		if snap == nil {
+			fail(fmt.Errorf("snapshot: rewind to unknown tag %q", tag))
+			return false
+		}
+		if err := a.sub.RestoreCheckpoint(snap.Checkpoint); err != nil {
+			fail(fmt.Errorf("snapshot %s: rewind restore: %w", tag, err))
+			return false
+		}
+		if beforeReplay != nil {
+			beforeReplay()
+		}
+		a.replay(snap)
+		if a.OnRestore != nil {
+			a.OnRestore(tag)
+		}
+		if done != nil {
+			done(nil)
+		}
+		return false
+	})
+}
+
 // onMark handles a mark (from == nil means self-initiated). Runs on
 // the scheduler goroutine.
 func (a *Agent) onMark(tag string, from *channel.Endpoint) {
 	st := a.states[tag]
 	if st == nil {
-		if _, already := a.done[tag]; already {
+		if a.Completed(tag) != nil {
 			return // stale duplicate mark for a finished snapshot
 		}
 		// First mark for this tag: checkpoint locally before
@@ -233,8 +316,10 @@ func (a *Agent) onMark(tag string, from *channel.Endpoint) {
 	if len(st.pending) == 0 {
 		delete(a.states, tag)
 		snap := &Snapshot{Tag: tag, Checkpoint: st.checkpoint, InFlight: st.inflight}
+		a.mu.Lock()
 		a.done[tag] = snap
 		a.doneOrder = append(a.doneOrder, tag)
+		a.mu.Unlock()
 		if a.OnComplete != nil {
 			a.OnComplete(snap)
 		}
@@ -273,7 +358,7 @@ func (a *Agent) doRestore(token string) {
 			break
 		}
 	}
-	snap := a.done[tag]
+	snap := a.Completed(tag)
 	if snap == nil {
 		if a.err == nil {
 			a.err = fmt.Errorf("snapshot: restore of unknown tag %q", tag)

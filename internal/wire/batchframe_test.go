@@ -31,9 +31,8 @@ func TestMixedFrameKindsInterleave(t *testing.T) {
 	if err := cb.Recv(&got); err != nil || got.N != 2 {
 		t.Fatalf("frame 3: %+v err=%v", got, err)
 	}
-	_, _, fi, _ := cb.Stats()
-	if fi != 3 {
-		t.Fatalf("frames in = %d, want 3", fi)
+	if st := cb.Stats(); st.FramesIn != 3 {
+		t.Fatalf("frames in = %d, want 3", st.FramesIn)
 	}
 }
 

@@ -161,9 +161,31 @@ func PutBuf(b []byte) {
 // Close closes the underlying stream.
 func (c *Conn) Close() error { return c.rwc.Close() }
 
-// Stats returns (bytes in, bytes out, frames in, frames out).
-func (c *Conn) Stats() (bi, bo, fi, fo int64) {
-	return c.bytesIn.Load(), c.bytesOut.Load(), c.framesIn.Load(), c.framesOut.Load()
+// Stats is a snapshot of one connection's framing counters. Totals
+// include the frame headers; FramesOut is the coalescing ablation's
+// figure of merit (fewer frames for the same drives).
+type Stats struct {
+	BytesIn, BytesOut   int64
+	FramesIn, FramesOut int64
+}
+
+// Add accumulates o into s, for callers summing several connections.
+func (s *Stats) Add(o Stats) {
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	s.FramesIn += o.FramesIn
+	s.FramesOut += o.FramesOut
+}
+
+// Stats returns a snapshot of the connection's counters (atomic
+// loads; safe concurrently with traffic).
+func (c *Conn) Stats() Stats {
+	return Stats{
+		BytesIn:   c.bytesIn.Load(),
+		BytesOut:  c.bytesOut.Load(),
+		FramesIn:  c.framesIn.Load(),
+		FramesOut: c.framesOut.Load(),
+	}
 }
 
 // Dial connects to a Pia node.

@@ -46,9 +46,9 @@ func TestRoundTrip(t *testing.T) {
 	if got.N != want.N || got.S != want.S || !bytes.Equal(got.B, want.B) {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
-	bi, _, fi, _ := cb.Stats()
-	if fi != 1 || bi <= 0 {
-		t.Fatalf("stats: frames=%d bytes=%d", fi, bi)
+	st := cb.Stats()
+	if st.FramesIn != 1 || st.BytesIn <= 0 {
+		t.Fatalf("stats: frames=%d bytes=%d", st.FramesIn, st.BytesIn)
 	}
 }
 

@@ -34,7 +34,9 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/detail"
+	"repro/internal/faultnet"
 	"repro/internal/graph"
+	"repro/internal/resilience"
 	"repro/internal/snapshot"
 	"repro/internal/vtime"
 )
@@ -110,6 +112,33 @@ type CoalesceConfig = channel.CoalesceConfig
 // DefaultCoalesce is the balanced coalescing policy.
 var DefaultCoalesce = channel.DefaultCoalesce
 
+// FaultConfig describes deterministic fault injection on cross-node
+// links; see faultnet.Config. The zero value injects nothing.
+type FaultConfig = faultnet.Config
+
+// FaultPartition is one scripted partition/heal cut in a fault
+// schedule; see faultnet.Partition.
+type FaultPartition = faultnet.Partition
+
+// FaultStats counts what one faulty link did to its traffic.
+type FaultStats = faultnet.Stats
+
+// ResilienceConfig tunes heartbeat liveness, reconnect backoff and
+// session-resume retention on cross-node links; see resilience.Config.
+// The zero value disables resilience (plain TCP).
+type ResilienceConfig = resilience.Config
+
+// ResilienceStats aggregates session-layer recovery counters.
+type ResilienceStats = resilience.Stats
+
+// DefaultResilience enables resilient sessions with a 1s heartbeat
+// and the default backoff/retention policy.
+var DefaultResilience = resilience.DefaultConfig
+
+// ParsePartitions parses a scripted partition schedule written
+// "atframe:healms[,atframe:healms...]", e.g. "40:30,200:15".
+func ParsePartitions(s string) ([]FaultPartition, error) { return faultnet.ParsePartitions(s) }
+
 // ParseSwitchpoint parses a single switchpoint rule.
 func ParseSwitchpoint(src string) (*Switchpoint, error) { return detail.ParseSwitchpoint(src) }
 
@@ -147,6 +176,11 @@ type SystemBuilder struct {
 
 	coalesce    CoalesceConfig
 	coalesceSet bool
+
+	faults    FaultConfig
+	faultsSet bool
+	resil     ResilienceConfig
+	resilSet  bool
 
 	err error
 }
@@ -249,6 +283,30 @@ func (b *SystemBuilder) SetChannel(subA, subB string, p Policy, link LinkModel) 
 func (b *SystemBuilder) SetCoalescing(cfg CoalesceConfig) *SystemBuilder {
 	b.coalesce = cfg
 	b.coalesceSet = true
+	return b
+}
+
+// SetFaults arms deterministic fault injection on every cross-node
+// link the build creates: each node wraps its TCP dials and accepts in
+// a faultnet.Link seeded from cfg.Seed and the link name, so the same
+// seed reproduces the same fault schedule. In-process channels are
+// unaffected. Usually paired with SetResilience so the simulation
+// survives the injected faults.
+func (b *SystemBuilder) SetFaults(cfg FaultConfig) *SystemBuilder {
+	b.faults = cfg
+	b.faultsSet = true
+	return b
+}
+
+// SetResilience makes every cross-node link a resumable session:
+// heartbeat liveness detection, reconnect with jittered exponential
+// backoff, sequence-numbered replay of unacked frames, and a
+// checkpoint-backed rewind when the retention window cannot cover a
+// gap. Applied to every node in the placement, so both ends of each
+// link agree.
+func (b *SystemBuilder) SetResilience(cfg ResilienceConfig) *SystemBuilder {
+	b.resil = cfg
+	b.resilSet = true
 	return b
 }
 
