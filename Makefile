@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos bench-smoke bench
+.PHONY: ci vet build test race race-core chaos bench-smoke bench bench-parallel
 
-ci: vet build test race chaos bench-smoke
+ci: vet build test race race-core chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,12 @@ test:
 race:
 	$(GO) test -race -count=1 ./internal/wire/... ./internal/channel/... ./internal/core/... ./internal/node/... ./internal/faultnet/... ./internal/resilience/...
 
+# The parallel scheduler must be race-clean both when goroutines are
+# forced onto one OS thread and when they genuinely interleave.
+race-core:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/core/...
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/core/...
+
 # The seeded chaos suite: Table-1 workloads under injected WAN faults
 # must produce results identical to the fault-free run, under the race
 # detector.
@@ -31,5 +37,11 @@ chaos:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=Table1 -benchtime=1x ./...
 
-bench:
+# The worker-pool sweep: piabench exits non-zero if any parallel leg
+# diverges from the sequential reference, so this doubles as a
+# determinism gate.
+bench-parallel:
+	$(GO) run ./cmd/piabench -exp parallel -json BENCH_2.json
+
+bench: bench-parallel
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

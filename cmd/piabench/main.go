@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	pia "repro"
@@ -33,17 +34,38 @@ var jsonOut string
 // reproduces the same drops, reorders and partition, frame for frame.
 var chaosSeed int64
 
+// benchWorkers sizes the scheduler worker pool of every experiment
+// that honours it (table1 and the parallel sweep's Table 1 legs).
+var benchWorkers int
+
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, coalesce, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, coalesce, parallel, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
-	flag.StringVar(&jsonOut, "json", "", "write Table 1 results to this file as JSON (e.g. BENCH_1.json)")
+	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
 	flag.Int64Var(&chaosSeed, "seed", 1, "fault-schedule seed for -exp chaos")
+	flag.IntVar(&benchWorkers, "workers", 0, "scheduler worker-pool size per subsystem (0 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	runners := map[string]func(int) error{
 		"table1":      table1,
 		"chaos":       chaos,
 		"coalesce":    coalesce,
+		"parallel":    parallel,
 		"fig1":        fig1,
 		"fig2":        fig2,
 		"fig3":        fig3,
@@ -82,7 +104,7 @@ func tw() *tabwriter.Writer {
 
 func table1(pageKB int) error {
 	fmt.Printf("Table 1: time and simulation overhead on several configurations of the WubbleU example (%d KB page)\n\n", pageKB)
-	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4}
+	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4, Workers: benchWorkers}
 	rows, err := experiments.Table1(cfg)
 	if err != nil {
 		return err
@@ -162,6 +184,98 @@ func coalesce(pageKB int) error {
 			float64(off.FramesOut)/float64(on.FramesOut), off.Wall, on.Wall)
 	}
 	return writeJSON(cfg, []experiments.Table1Row{off, on})
+}
+
+// parallel sweeps the safe-horizon worker pool over a fan-out
+// workload whose services model wall-clock latency (remote probes),
+// then cross-checks the Table 1 local word-level leg with 4 workers.
+// Any divergence in virtual time, drive counts or the drive digest
+// between a parallel leg and the sequential reference is an error.
+func parallel(pageKB int) error {
+	cfg := experiments.DefaultParallelConfig()
+	cfg.PageKB = pageKB
+	fmt.Printf("Parallel scheduler: %d services x %d jobs, %v service latency each\n\n",
+		cfg.Fanout, cfg.Rounds, cfg.Service)
+	rows, table, err := experiments.Parallel(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mode\twall\tvirtual\tdrives\tparallel rounds\tdrive digest\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\t%d\t%016x\t%.2fx\n",
+			r.Mode, r.Wall, r.Virt, r.Drives, r.ParRounds, r.Digest, r.Speedup)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nTable 1 cross-check (local, word level):")
+	w = tw()
+	fmt.Fprintln(w, "Location\tsimulation time\tvirtual load\tlink drives")
+	for _, r := range table {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\n", r.Location, r.Wall, r.Virt, r.Drives)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nresult invariant holds: virtual results identical at every worker count")
+	return writeParallelJSON(cfg, rows, table)
+}
+
+// parallelRow is the machine-readable form of one sweep leg.
+type parallelRow struct {
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	WallNS    int64   `json:"wall_ns"`
+	VirtualNS int64   `json:"virtual_ns"`
+	Drives    int64   `json:"drives"`
+	ParRounds int64   `json:"parallel_rounds"`
+	Digest    string  `json:"drive_digest"`
+	Speedup   float64 `json:"speedup"`
+}
+
+func writeParallelJSON(cfg experiments.ParallelConfig, rows []experiments.ParallelRow, table []experiments.Table1Row) error {
+	if jsonOut == "" {
+		return nil
+	}
+	out := struct {
+		Experiment string        `json:"experiment"`
+		Fanout     int           `json:"fanout"`
+		Rounds     int           `json:"rounds"`
+		ServiceNS  int64         `json:"service_ns"`
+		Rows       []parallelRow `json:"rows"`
+		Table      []benchRow    `json:"table1_local"`
+	}{Experiment: "parallel", Fanout: cfg.Fanout, Rounds: cfg.Rounds, ServiceNS: cfg.Service.Nanoseconds()}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, parallelRow{
+			Mode:      r.Mode,
+			Workers:   r.Workers,
+			WallNS:    r.Wall.Nanoseconds(),
+			VirtualNS: int64(r.Virt),
+			Drives:    r.Drives,
+			ParRounds: r.ParRounds,
+			Digest:    fmt.Sprintf("%016x", r.Digest),
+			Speedup:   r.Speedup,
+		})
+	}
+	for _, r := range table {
+		out.Table = append(out.Table, benchRow{
+			Location:   r.Location,
+			Level:      r.Level,
+			WallNS:     r.Wall.Nanoseconds(),
+			VirtualNS:  int64(r.Virt),
+			LinkDrives: r.Drives,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+	return nil
 }
 
 // benchRow is the machine-readable form of one Table 1 row.

@@ -36,6 +36,7 @@ func main() {
 	pageKB := flag.Int("page", 66, "page size in KB served by the web store")
 	images := flag.Int("images", 4, "images embedded in the page")
 	verbose := flag.Bool("v", false, "log channel activity")
+	workers := flag.Int("workers", 0, "scheduler worker-pool size (0 = sequential; results are identical)")
 	coalesce := flag.Bool("coalesce", false, "coalesce egress messages into batched wire frames")
 	coalesceMsgs := flag.Int("coalesce-msgs", channel.DefaultCoalesce.MaxMsgs, "flush a batch at this many queued messages")
 	coalesceBytes := flag.Int("coalesce-bytes", channel.DefaultCoalesce.MaxBytes, "flush a batch at this many queued payload bytes (0 = no byte budget)")
@@ -69,6 +70,7 @@ func main() {
 	cfg.Level = *level
 
 	sub := core.NewSubsystem("modemsite")
+	sub.SetWorkers(*workers)
 	if _, err := wubbleu.InstallModemSite(sub, cfg); err != nil {
 		log.Fatal(err)
 	}

@@ -68,6 +68,7 @@ func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, erro
 	for _, subName := range v.Subsystems() {
 		n := placement[subName]
 		s := core.NewSubsystem(subName)
+		s.SetWorkers(b.workers)
 		hosted := n.Host(s)
 		cl.Subsystems[subName] = s
 		cl.Hubs[subName] = hosted.Hub

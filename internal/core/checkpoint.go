@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/event"
 	"repro/internal/vtime"
@@ -80,6 +81,7 @@ func (cs *CheckpointSet) Bytes() int {
 // the local checkpoint only once per tag, so duplicate marks are
 // ignored. Safe from any goroutine.
 func (s *Subsystem) RequestCheckpoint(tag string) {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	s.ckptTags = append(s.ckptTags, tag)
 	s.cond.Broadcast()
@@ -190,7 +192,7 @@ func (s *Subsystem) capture(tag string) (*CheckpointSet, error) {
 		drop := len(s.checkpoints) - s.ckptKeep
 		s.checkpoints = append([]*CheckpointSet(nil), s.checkpoints[drop:]...)
 	}
-	s.stats.Checkpoints++
+	atomic.AddInt64(&s.stats.Checkpoints, 1)
 	s.tracef("checkpoint #%d tag=%q @%v", cs.ID, tag, cs.Time)
 	if s.OnCheckpoint != nil {
 		s.OnCheckpoint(cs)
@@ -292,7 +294,8 @@ func (s *Subsystem) RestoreCheckpoint(cs *CheckpointSet) error {
 	}
 	s.checkpoints = kept
 	s.fatal = nil
-	s.stats.Restores++
+	s.resetActive()
+	atomic.AddInt64(&s.stats.Restores, 1)
 	s.tracef("restored checkpoint #%d @%v", cs.ID, cs.Time)
 	if s.OnRestore != nil {
 		s.OnRestore(cs)

@@ -80,6 +80,52 @@ type Component struct {
 	status    status
 	inbox     event.Queue // undelivered messages for this component
 
+	// index is the component's creation order: the deterministic
+	// tie-break for equal scheduling keys and the canonical merge
+	// order for parallel-round output.
+	index int
+
+	// parked is the component->scheduler half of the cooperative
+	// handshake: the component's goroutine signals here whenever it
+	// parks. It is per component (rather than one shared channel)
+	// so parallel-round workers can resume and await distinct
+	// components concurrently.
+	parked chan struct{}
+
+	// active marks membership in the scheduler's runnable index.
+	// Components whose key is Infinity are lazily compacted out and
+	// re-activated when an event lands in their inbox.
+	active  bool
+	planKey vtime.Time // key cached by the last scheduler scan
+
+	// outLA is the component's output lookahead: the minimum
+	// propagation delay over every net its ports attach to (the
+	// paper's conservative lookahead, per component). Nothing this
+	// component sends can affect any other component earlier than
+	// key+outLA. Computed once per Run; topology is fixed while
+	// running.
+	outLA vtime.Duration
+
+	// Fast-path scheduling state (see proc.go and parallel.go).
+	// viewNow is the virtual time of the component's current fused
+	// scheduling step — what Subsystem.now would read were every
+	// inline action a separate scheduler step. fastUntil is the
+	// exclusive bound below which the component may act inline
+	// without a scheduler handoff (0 disables); the fast path is
+	// vacated whenever the subsystem's external-request generation
+	// no longer matches fastGen.
+	viewNow   vtime.Time
+	fastUntil vtime.Time
+	fastGen   uint64
+
+	// wbuf collects side effects (drives, trace lines, runlevel
+	// notes) while a parallel-round worker holds the token; nil in
+	// sequential execution.
+	wbuf *workerBuf
+
+	// scratch backs popDeliverable's filtered inbox rebuild.
+	scratch []*event.Event
+
 	// recvPorts is the port filter of the Recv the component is
 	// parked in (nil = any port); recvDeadline bounds the wait.
 	recvPorts    map[string]bool
@@ -212,8 +258,10 @@ func (c *Component) popDeliverable() *event.Event {
 	if want == nil {
 		return nil
 	}
-	// Rebuild the inbox without that event.
-	var rest []*event.Event
+	// Rebuild the inbox without that event, through a per-component
+	// scratch buffer so the filtered path stops allocating a fresh
+	// slice on every pop.
+	rest := c.scratch[:0]
 	for {
 		e := c.inbox.Pop()
 		if e == nil {
@@ -227,7 +275,53 @@ func (c *Component) popDeliverable() *event.Event {
 	for _, e := range rest {
 		c.inbox.PushStamped(e)
 	}
+	c.scratch = rest[:0]
 	return want
+}
+
+// tracef emits a trace line from component context: buffered when a
+// parallel-round worker holds the token, direct otherwise. The
+// Tracer-nil check runs before any formatting.
+func (c *Component) tracef(format string, args ...any) {
+	if c.sub.Tracer == nil {
+		return
+	}
+	line := fmt.Sprintf(format, args...)
+	if c.wbuf != nil {
+		c.wbuf.push(parOp{at: c.viewNow, kind: opTrace, str: line})
+		return
+	}
+	c.sub.Tracer(line)
+}
+
+// noteRunlevel records an imperative runlevel switch from component
+// context, buffering it during a parallel round.
+func (c *Component) noteRunlevel(level string) {
+	s := c.sub
+	if c.wbuf != nil {
+		if s.OnRunlevel != nil || s.Tracer != nil {
+			c.wbuf.push(parOp{at: c.viewNow, kind: opRunlevel, str: level})
+		}
+		return
+	}
+	s.noteRunlevel(c, level)
+}
+
+// emit routes a component-driven net drive: buffered during a
+// parallel round, direct otherwise. A direct send shrinks the fast
+// bound to the earliest possible delivery, so the sender never fuses
+// past a step at which its own message could wake another component.
+func (c *Component) emit(n *Net, t vtime.Time, v any) {
+	if c.wbuf != nil {
+		c.wbuf.push(parOp{at: c.viewNow, kind: opDrive, net: n, t: t, v: v})
+		return
+	}
+	c.sub.drive(n, c.name, t, v)
+	if c.fastUntil != 0 {
+		if arr := t.Add(n.Delay); arr < c.fastUntil {
+			c.fastUntil = arr
+		}
+	}
 }
 
 // minTime reports the earliest timestamp in the component's inbox

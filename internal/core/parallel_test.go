@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// relay receives on "in", models some compute latency, and forwards
+// the incremented value on "out". Chatty relays exercise the buffered
+// trace path inside parallel rounds.
+type relay struct {
+	work   vtime.Duration
+	chatty bool
+}
+
+func (r *relay) Run(p *Proc) error {
+	for {
+		m, ok := p.Recv("in")
+		if !ok {
+			return nil
+		}
+		if r.chatty {
+			p.Logf("relay %v", m.Value)
+		}
+		p.Advance(r.work)
+		p.Send("out", m.Value.(int)+1)
+	}
+}
+
+// poller exercises the deadline fast path: it polls its port a fixed
+// number of times with RecvDeadline.
+type poller struct {
+	period vtime.Duration
+	rounds int
+	Got    []int
+	Times  []vtime.Time
+}
+
+func (po *poller) Run(p *Proc) error {
+	for i := 0; i < po.rounds; i++ {
+		m, ok := p.RecvDeadline(p.Time().Add(po.period), "in")
+		if ok {
+			po.Got = append(po.Got, m.Value.(int))
+			po.Times = append(po.Times, m.Time)
+		}
+	}
+	return nil
+}
+
+// randomParallelSystem builds a seeded random topology: producers and
+// relays form a DAG over a handful of nets (zero delays included), so
+// every run terminates; consumers and pollers record what reaches
+// them. Everything is derived from the seed.
+func randomParallelSystem(seed int64) (*Subsystem, []*consumer, []*poller) {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSubsystem("par")
+
+	nNets := 2 + rng.Intn(3)
+	nets := make([]*Net, nNets)
+	for i := range nets {
+		nets[i], _ = s.NewNet(fmt.Sprintf("n%d", i), vtime.Duration(rng.Intn(6)))
+	}
+
+	nProd := 1 + rng.Intn(4)
+	for i := 0; i < nProd; i++ {
+		pr := &producer{Count: 1 + rng.Intn(20), Period: vtime.Duration(1 + rng.Intn(30))}
+		c, _ := s.NewComponent(fmt.Sprintf("prod%d", i), pr)
+		c.AddPort("out")
+		s.Connect(nets[rng.Intn(nNets)], c.Port("out"))
+	}
+
+	// Relays forward strictly "downstream" (lower net index to
+	// higher), keeping the topology acyclic.
+	nRelay := rng.Intn(3)
+	for i := 0; i < nRelay; i++ {
+		from := rng.Intn(nNets - 1)
+		to := from + 1 + rng.Intn(nNets-from-1)
+		rl := &relay{work: vtime.Duration(rng.Intn(8)), chatty: rng.Intn(2) == 0}
+		c, _ := s.NewComponent(fmt.Sprintf("relay%d", i), rl)
+		c.AddPort("in")
+		c.AddPort("out")
+		s.Connect(nets[from], c.Port("in"))
+		s.Connect(nets[to], c.Port("out"))
+	}
+
+	var cons []*consumer
+	nCons := 1 + rng.Intn(4)
+	for i := 0; i < nCons; i++ {
+		co := &consumer{}
+		cons = append(cons, co)
+		c, _ := s.NewComponent(fmt.Sprintf("cons%d", i), co)
+		c.AddPort("in")
+		s.Connect(nets[rng.Intn(nNets)], c.Port("in"))
+	}
+
+	var polls []*poller
+	nPoll := rng.Intn(3)
+	for i := 0; i < nPoll; i++ {
+		po := &poller{period: vtime.Duration(1 + rng.Intn(20)), rounds: 1 + rng.Intn(10)}
+		polls = append(polls, po)
+		c, _ := s.NewComponent(fmt.Sprintf("poll%d", i), po)
+		c.AddPort("in")
+		s.Connect(nets[rng.Intn(nNets)], c.Port("in"))
+	}
+	return s, cons, polls
+}
+
+// runFingerprint runs the seeded system with the given worker count
+// and returns a string capturing everything the parallel scheduler
+// must reproduce bit-for-bit: delivery values and times, final local
+// times, final subsystem time, per-net drive counts, the ordered
+// drive stream, the ordered trace stream, and the delivery counter.
+func runFingerprint(t *testing.T, seed int64, workers int) (string, Stats) {
+	t.Helper()
+	s, cons, polls := randomParallelSystem(seed)
+	s.SetWorkers(workers)
+
+	driveDigest := fnv.New64a()
+	driveCounts := make(map[string]int64)
+	s.OnDrive = func(net, src string, tt vtime.Time, v any) {
+		driveCounts[net]++
+		fmt.Fprintf(driveDigest, "%s|%s|%d|%v\n", net, src, tt, v)
+	}
+	traceDigest := fnv.New64a()
+	s.Tracer = func(line string) { fmt.Fprintf(traceDigest, "%s\n", line) }
+
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+
+	sig := signature(cons)
+	for i, po := range polls {
+		sig += fmt.Sprintf("|poll%d:", i)
+		for j, v := range po.Got {
+			sig += fmt.Sprintf("%d@%d,", v, po.Times[j])
+		}
+	}
+	for _, c := range s.Components() {
+		sig += fmt.Sprintf("|%s@%d", c.Name(), c.LocalTime())
+	}
+	sig += fmt.Sprintf("|now=%d", s.Now())
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("n%d", i)
+		if s.Net(name) == nil {
+			break
+		}
+		sig += fmt.Sprintf("|%s=%d", name, driveCounts[name])
+	}
+	st := s.Stats()
+	sig += fmt.Sprintf("|drv=%x|trc=%x|deliv=%d|drives=%d",
+		driveDigest.Sum64(), traceDigest.Sum64(), st.Deliveries, st.Drives)
+	return sig, st
+}
+
+// TestParallelEquivalenceProperty: across 50 random topologies, the
+// parallel scheduler at 1, 2 and 4 workers must produce exactly the
+// sequential scheduler's virtual end times, per-net drive counts and
+// trace digests.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	var parRounds int64
+	for seed := int64(1); seed <= 50; seed++ {
+		want, _ := runFingerprint(t, seed, 0)
+		for _, workers := range []int{1, 2, 4} {
+			got, st := runFingerprint(t, seed, workers)
+			if got != want {
+				t.Fatalf("seed %d: workers=%d diverged from sequential\nseq: %s\npar: %s",
+					seed, workers, want, got)
+			}
+			parRounds += st.ParRounds
+		}
+	}
+	if parRounds == 0 {
+		t.Fatal("no parallel rounds were ever dispatched; the parallel path went untested")
+	}
+}
+
+// TestParallelPipeIdentical pins the basic case: a producer/consumer
+// pipe delivers identical values at identical times regardless of the
+// worker count.
+func TestParallelPipeIdentical(t *testing.T) {
+	ref, _, coRef := buildPipe(t, 3, 50, 2)
+	if err := ref.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		s, _, co := buildPipe(t, 3, 50, 2)
+		s.SetWorkers(workers)
+		if err := s.Run(vtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+		if len(co.Got) != len(coRef.Got) {
+			t.Fatalf("workers=%d delivered %d, want %d", workers, len(co.Got), len(coRef.Got))
+		}
+		for i := range co.Got {
+			if co.Got[i] != coRef.Got[i] || co.Times[i] != coRef.Times[i] {
+				t.Fatalf("workers=%d delivery %d = %d@%v, want %d@%v",
+					workers, i, co.Got[i], co.Times[i], coRef.Got[i], coRef.Times[i])
+			}
+		}
+		if got, want := s.Stats().Drives, ref.Stats().Drives; got != want {
+			t.Fatalf("workers=%d drives %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestParallelRoundsDispatch: independent producer/consumer pairs are
+// exactly the shape the safe horizon admits; with workers set, rounds
+// must actually be dispatched to the pool.
+func TestParallelRoundsDispatch(t *testing.T) {
+	build := func() (*Subsystem, []*consumer) {
+		s := NewSubsystem("fan")
+		var cons []*consumer
+		for i := 0; i < 8; i++ {
+			n, _ := s.NewNet(fmt.Sprintf("lane%d", i), 5)
+			pr := &producer{Count: 20, Period: 7}
+			pc, _ := s.NewComponent(fmt.Sprintf("p%d", i), pr)
+			pc.AddPort("out")
+			co := &consumer{}
+			cons = append(cons, co)
+			cc, _ := s.NewComponent(fmt.Sprintf("c%d", i), co)
+			cc.AddPort("in")
+			s.Connect(n, pc.Port("out"), cc.Port("in"))
+		}
+		return s, cons
+	}
+	ref, consRef := build()
+	if err := ref.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	s, cons := build()
+	s.SetWorkers(4)
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().ParRounds == 0 {
+		t.Fatal("no parallel rounds dispatched on a fully independent topology")
+	}
+	if signature(cons) != signature(consRef) {
+		t.Fatalf("parallel fan diverged:\nseq: %s\npar: %s", signature(consRef), signature(cons))
+	}
+}
+
+// TestParallelAutoCheckpoint: automatic checkpoint cuts must land at
+// identical virtual times in parallel mode (the round horizon is
+// capped at the next cut), and a restore must replay identically.
+func TestParallelAutoCheckpoint(t *testing.T) {
+	run := func(workers int) (string, []vtime.Time) {
+		s, _, co := buildPipe(t, 3, 40, 5)
+		s.SetWorkers(workers)
+		s.SetAutoCheckpoint(25)
+		s.SetCheckpointRetention(100)
+		if err := s.Run(vtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+		var cuts []vtime.Time
+		for _, cs := range s.Checkpoints() {
+			cuts = append(cuts, cs.Time)
+		}
+		sig := ""
+		for i := range co.Got {
+			sig += fmt.Sprintf("%d@%d,", co.Got[i], co.Times[i])
+		}
+		return sig, cuts
+	}
+	wantSig, wantCuts := run(0)
+	for _, workers := range []int{2, 4} {
+		sig, cuts := run(workers)
+		if sig != wantSig {
+			t.Fatalf("workers=%d deliveries diverged", workers)
+		}
+		if len(cuts) != len(wantCuts) {
+			t.Fatalf("workers=%d made %d checkpoints, want %d", workers, len(cuts), len(wantCuts))
+		}
+		for i := range cuts {
+			if cuts[i] != wantCuts[i] {
+				t.Fatalf("workers=%d cut %d at %v, want %v", workers, i, cuts[i], wantCuts[i])
+			}
+		}
+	}
+}
+
+// TestParallelPoolRestart: the pool starts and stops per Run; a
+// finite-horizon run followed by a continuation must work and match a
+// single sequential run.
+func TestParallelPoolRestart(t *testing.T) {
+	ref, _, coRef := buildPipe(t, 2, 30, 4)
+	if err := ref.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	s, _, co := buildPipe(t, 2, 30, 4)
+	s.SetWorkers(3)
+	if err := s.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(co.Got) != fmt.Sprint(coRef.Got) || fmt.Sprint(co.Times) != fmt.Sprint(coRef.Times) {
+		t.Fatalf("split run diverged: got %v@%v want %v@%v", co.Got, co.Times, coRef.Got, coRef.Times)
+	}
+}
+
+// TestParallelStop: Stop must interrupt parallel rounds promptly (the
+// external-request generation vacates the inline fast paths).
+func TestParallelStop(t *testing.T) {
+	s := NewSubsystem("stop")
+	for i := 0; i < 4; i++ {
+		n, _ := s.NewNet(fmt.Sprintf("lane%d", i), 1)
+		c, _ := s.NewComponent(fmt.Sprintf("spin%d", i), BehaviorFunc(func(p *Proc) error {
+			for {
+				p.Send("out", 1)
+				p.Delay(1)
+			}
+		}))
+		c.AddPort("out")
+		s.Connect(n, c.Port("out"))
+	}
+	s.SetWorkers(4)
+	done := make(chan error, 1)
+	go func() { done <- s.Run(vtime.Infinity) }()
+	s.Stop()
+	if err := <-done; err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	s.Teardown()
+}
+
+// TestFastPathMatchesHookedRun: installing OnStep pins the scheduler
+// to the classic step-at-a-time path; results must match the fast
+// (fused) path exactly.
+func TestFastPathMatchesHookedRun(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		fast, _ := runFingerprint(t, seed, 0)
+		s, cons, polls := randomParallelSystem(seed)
+		steps := 0
+		s.OnStep = func(vtime.Time) { steps++ }
+		driveDigest := fnv.New64a()
+		driveCounts := make(map[string]int64)
+		s.OnDrive = func(net, src string, tt vtime.Time, v any) {
+			driveCounts[net]++
+			fmt.Fprintf(driveDigest, "%s|%s|%d|%v\n", net, src, tt, v)
+		}
+		traceDigest := fnv.New64a()
+		s.Tracer = func(line string) { fmt.Fprintf(traceDigest, "%s\n", line) }
+		if err := s.Run(vtime.Infinity); err != nil {
+			t.Fatal(err)
+		}
+		sig := signature(cons)
+		for i, po := range polls {
+			sig += fmt.Sprintf("|poll%d:", i)
+			for j, v := range po.Got {
+				sig += fmt.Sprintf("%d@%d,", v, po.Times[j])
+			}
+		}
+		for _, c := range s.Components() {
+			sig += fmt.Sprintf("|%s@%d", c.Name(), c.LocalTime())
+		}
+		sig += fmt.Sprintf("|now=%d", s.Now())
+		for i := 0; ; i++ {
+			name := fmt.Sprintf("n%d", i)
+			if s.Net(name) == nil {
+				break
+			}
+			sig += fmt.Sprintf("|%s=%d", name, driveCounts[name])
+		}
+		st := s.Stats()
+		sig += fmt.Sprintf("|drv=%x|trc=%x|deliv=%d|drives=%d",
+			driveDigest.Sum64(), traceDigest.Sum64(), st.Deliveries, st.Drives)
+		if sig != fast {
+			t.Fatalf("seed %d: hooked (slow) run diverged from fast run\nslow: %s\nfast: %s", seed, sig, fast)
+		}
+		if steps == 0 {
+			t.Fatal("OnStep never called")
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/event"
 	"repro/internal/vtime"
@@ -18,9 +19,10 @@ type Proc struct {
 // Time returns the component's local virtual time.
 func (p *Proc) Time() vtime.Time { return p.c.localTime }
 
-// SubsystemTime returns the subsystem's current virtual time. It is
-// always <= Time().
-func (p *Proc) SubsystemTime() vtime.Time { return p.c.sub.now }
+// SubsystemTime returns the subsystem's current virtual time as seen
+// from this component's schedule: the virtual time of the component's
+// current (possibly fused) scheduling step. It is always <= Time().
+func (p *Proc) SubsystemTime() vtime.Time { return p.c.viewNow }
 
 // Name returns the component's name.
 func (p *Proc) Name() string { return p.c.name }
@@ -34,7 +36,7 @@ func (p *Proc) Runlevel() string { return p.c.runlevel }
 // the behaviour is by definition a safe point for the caller.
 func (p *Proc) SetRunlevel(level string) {
 	p.c.runlevel = level
-	p.c.sub.noteRunlevel(p.c, level)
+	p.c.noteRunlevel(level)
 }
 
 // Advance moves the component's local time forward by d without
@@ -75,6 +77,16 @@ func (p *Proc) DelayUntil(t vtime.Time) {
 // component are applied while it is parked here.
 func (p *Proc) Yield() {
 	c := p.c
+	// Fast skip: when the component's local time is still below its
+	// fast bound it would immediately be re-picked by the scheduler
+	// — the handoff is a no-op, provided no external request has
+	// arrived since the bound was computed.
+	if c.fastUntil != 0 && c.localTime < c.fastUntil && c.sub.extGen.Load() == c.fastGen {
+		if c.localTime > c.viewNow {
+			c.viewNow = c.localTime
+		}
+		return
+	}
 	c.status = statusRunnable
 	tok := c.sub.yield(c)
 	if tok.kill {
@@ -102,7 +114,7 @@ func (p *Proc) Send(port string, v any) {
 	if pt.net == nil {
 		panic(fmt.Sprintf("core: port %s.%s is not attached to a net", c.name, port))
 	}
-	c.sub.drive(pt.net, c.name, c.localTime, v)
+	c.emit(pt.net, c.localTime, v)
 }
 
 // SendAt is Send with an explicit future timestamp (>= local time).
@@ -120,7 +132,7 @@ func (p *Proc) SendAt(port string, v any, t vtime.Time) {
 	if pt.net == nil {
 		panic(fmt.Sprintf("core: port %s.%s is not attached to a net", c.name, port))
 	}
-	c.sub.drive(pt.net, c.name, t, v)
+	c.emit(pt.net, t, v)
 }
 
 // Recv blocks until a message arrives on one of the named ports (any
@@ -151,6 +163,16 @@ func (p *Proc) recv(deadline vtime.Time, ports []string) (Msg, bool) {
 		}
 	} else {
 		c.recvPorts = nil
+	}
+	// Fast path: deliver (or time out) inline when the outcome is
+	// already determined below the component's fast bound — the
+	// step-at-a-time scheduler would have picked this component right
+	// back, so the handoff can be skipped entirely.
+	if c.fastUntil != 0 && c.sub.extGen.Load() == c.fastGen {
+		if m, ok, done := c.recvInline(deadline); done {
+			c.recvPorts = nil
+			return m, ok
+		}
 	}
 	c.recvDeadline = deadline
 	c.status = statusRecv
@@ -220,7 +242,39 @@ func (p *Proc) Logf(format string, args ...any) {
 	if p.c.sub.Tracer == nil {
 		return
 	}
-	p.c.sub.tracef("%s@%v: %s", p.c.name, p.c.localTime, fmt.Sprintf(format, args...))
+	p.c.tracef("%s@%v: %s", p.c.name, p.c.localTime, fmt.Sprintf(format, args...))
+}
+
+// recvInline mirrors the scheduler's key()/step() pair for a single
+// component: if the receive's outcome (a delivery or a deadline
+// expiry) falls strictly below the component's fast bound, it is
+// applied inline and done=true is returned. Anything at or past the
+// bound parks normally, because another component — or the scheduler
+// itself (gates, checkpoints, horizon) — may act first.
+func (c *Component) recvInline(deadline vtime.Time) (Msg, bool, bool) {
+	e := c.nextDeliverable()
+	key := vtime.Infinity
+	if e != nil {
+		key = vtime.Max(e.Time, c.localTime)
+	}
+	if deadline < key {
+		key = vtime.Max(deadline, c.localTime)
+	}
+	if key >= c.fastUntil {
+		return Msg{}, false, false
+	}
+	if e != nil && vtime.Max(e.Time, c.localTime) == key {
+		e = c.popDeliverable()
+		msg := c.msgFromEvent(e)
+		event.Put(e)
+		atomic.AddInt64(&c.sub.stats.Deliveries, 1)
+		c.viewNow = key
+		return *msg, true, true
+	}
+	// Deadline expiry.
+	c.localTime = vtime.Max(c.localTime, deadline)
+	c.viewNow = key
+	return Msg{Time: c.localTime}, false, true
 }
 
 // msgFromEvent converts a delivered event into the Msg handed to Recv,

@@ -77,10 +77,27 @@ type Subsystem struct {
 
 	now vtime.Time
 
-	yieldCh chan *Component
-
 	gates    []Gate
 	external int // count of ingress sources that may still inject
+
+	// Parallel execution (see parallel.go). workers is the pool
+	// size (0 = sequential); fastOK gates the inline fast paths and
+	// parallel rounds on the absence of a per-step hook.
+	workers   int
+	fastOK    bool
+	workCh    chan parJob
+	poolWG    sync.WaitGroup
+	roundWG   sync.WaitGroup
+	active    []*Component // runnable index, lazily compacted
+	members   []*Component // scratch: current round membership
+	mergeRefs []opRef      // scratch: merge ordering
+	bufFree   []*workerBuf
+
+	// extGen counts external requests (stop, injections, rollback
+	// and checkpoint requests). Components cache it when resumed and
+	// abandon their inline fast paths the moment it moves, so every
+	// external request still gets absorbed at a scheduler loop top.
+	extGen atomic.Uint64
 
 	// cross-goroutine state, guarded by mu
 	mu       sync.Mutex
@@ -132,6 +149,7 @@ type Stats struct {
 	Stalls      int64 // times the scheduler waited on a gate or input
 	Checkpoints int64
 	Restores    int64
+	ParRounds   int64 // parallel rounds dispatched to the worker pool
 	BytesOnNets int64
 }
 
@@ -141,7 +159,6 @@ func NewSubsystem(name string) *Subsystem {
 		name:     name,
 		comps:    make(map[string]*Component),
 		nets:     make(map[string]*Net),
-		yieldCh:  make(chan *Component),
 		rbTime:   vtime.Infinity,
 		ckptKeep: 8,
 	}
@@ -156,8 +173,36 @@ func (s *Subsystem) Name() string { return s.name }
 // time of every component in the subsystem.
 func (s *Subsystem) Now() vtime.Time { return s.now }
 
-// Stats returns a copy of the scheduler counters.
-func (s *Subsystem) Stats() Stats { return s.stats }
+// Stats returns a copy of the scheduler counters. Safe from any
+// goroutine: the counters are written atomically (worker goroutines
+// and components on the inline fast path update them too).
+func (s *Subsystem) Stats() Stats {
+	return Stats{
+		Steps:       atomic.LoadInt64(&s.stats.Steps),
+		Deliveries:  atomic.LoadInt64(&s.stats.Deliveries),
+		Drives:      atomic.LoadInt64(&s.stats.Drives),
+		Stalls:      atomic.LoadInt64(&s.stats.Stalls),
+		Checkpoints: atomic.LoadInt64(&s.stats.Checkpoints),
+		Restores:    atomic.LoadInt64(&s.stats.Restores),
+		ParRounds:   atomic.LoadInt64(&s.stats.ParRounds),
+		BytesOnNets: atomic.LoadInt64(&s.stats.BytesOnNets),
+	}
+}
+
+// SetWorkers sets the size of the parallel-round worker pool: with
+// n > 0, Run dispatches every component whose next action falls
+// strictly inside the safe horizon to n worker goroutines and merges
+// their output deterministically. 0 (the default) keeps the
+// scheduler fully sequential. Only legal between runs.
+func (s *Subsystem) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// Workers returns the configured worker-pool size (0 = sequential).
+func (s *Subsystem) Workers() int { return s.workers }
 
 // Components returns the subsystem's components in creation order.
 func (s *Subsystem) Components() []*Component {
@@ -199,12 +244,15 @@ func (s *Subsystem) NewComponent(name string, b Behavior) (*Component, error) {
 		ports:        make(map[string]*Port),
 		ifaces:       make(map[string]*Interface),
 		status:       statusNew,
+		index:        len(s.order),
 		token:        make(chan tokenMsg),
+		parked:       make(chan struct{}),
 		recvDeadline: vtime.Infinity,
 	}
 	c.proc = &Proc{c}
 	s.comps[name] = c
 	s.order = append(s.order, c)
+	s.activate(c)
 	return c, nil
 }
 
@@ -317,6 +365,7 @@ func (s *Subsystem) Wake() {
 // Stop requests that Run return as soon as the current component
 // parks. Safe from any goroutine.
 func (s *Subsystem) Stop() {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	s.stopReq = true
 	s.cond.Broadcast()
@@ -328,6 +377,7 @@ func (s *Subsystem) Stop() {
 // by source src. Safe from any goroutine; takes effect at the next
 // scheduling step, in arrival order relative to other injections.
 func (s *Subsystem) InjectDrive(net, src string, t vtime.Time, v any) error {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	if s.nets[net] == nil {
 		s.mu.Unlock()
@@ -345,6 +395,7 @@ func (s *Subsystem) InjectDrive(net, src string, t vtime.Time, v any) error {
 // and returns true to be retried after the scheduler has handled any
 // rollback it requested. Safe from any goroutine.
 func (s *Subsystem) InjectFunc(fn func() bool) {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	s.injected = append(s.injected, injectedItem{fn: fn})
 	s.cond.Broadcast()
@@ -368,6 +419,7 @@ func (s *Subsystem) DriveNow(net, src string, t vtime.Time, v any) error {
 // whose cut time is <= t (a straggler with timestamp t arrived on an
 // optimistic channel). Safe from any goroutine.
 func (s *Subsystem) RequestRollback(t vtime.Time) {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	if t < s.rbTime {
 		s.rbTime = t
@@ -383,6 +435,7 @@ func (s *Subsystem) RequestRollback(t vtime.Time) {
 // regardless of where the subsystem cut fell. Safe from any
 // goroutine.
 func (s *Subsystem) RequestRollbackComponent(comp string, t vtime.Time) {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	if s.rbComp == "" || t < s.rbCompT {
 		s.rbComp, s.rbCompT = comp, t
@@ -395,6 +448,7 @@ func (s *Subsystem) RequestRollbackComponent(comp string, t vtime.Time) {
 // captured for the given snapshot tag (distributed coordinated
 // restore). Safe from any goroutine.
 func (s *Subsystem) RequestRestoreTag(tag string) {
+	s.extGen.Add(1)
 	s.mu.Lock()
 	s.rbTag = tag
 	s.cond.Broadcast()
@@ -452,7 +506,7 @@ func (s *Subsystem) driveLocal(n *Net, src string, t vtime.Time, v any) {
 
 func (s *Subsystem) driveFrom(n *Net, driver *Port, src string, t vtime.Time, v any, skipHidden bool) {
 	n.lastValue, n.lastTime, n.lastSource = v, t, src
-	s.stats.Drives++
+	atomic.AddInt64(&s.stats.Drives, 1)
 	if s.OnDrive != nil {
 		s.OnDrive(n.Name, src, t, v)
 	}
@@ -482,24 +536,52 @@ func (s *Subsystem) driveFrom(n *Net, driver *Port, src string, t vtime.Time, v 
 		e.Value = v
 		e.Source = src
 		pt.comp.inbox.Push(e)
+		if !pt.comp.active {
+			s.activate(pt.comp)
+		}
+	}
+}
+
+// activate inserts c into the runnable index. Called wherever a
+// component's key may have turned finite: creation, an inbox push,
+// returning from a resume, restore, reload.
+func (s *Subsystem) activate(c *Component) {
+	if !c.active {
+		c.active = true
+		s.active = append(s.active, c)
+	}
+}
+
+// resetActive rebuilds the runnable index from scratch (restores and
+// reloads invalidate cached keys wholesale).
+func (s *Subsystem) resetActive() {
+	s.active = s.active[:0]
+	for _, c := range s.order {
+		c.active = false
+	}
+	for _, c := range s.order {
+		s.activate(c)
 	}
 }
 
 // yield is the component side of the scheduling handshake: announce
-// the park, then wait for the next run token.
+// the park on the component's own channel, then wait for the next
+// run token.
 func (s *Subsystem) yield(c *Component) tokenMsg {
-	s.yieldCh <- c
+	c.parked <- struct{}{}
 	return <-c.token
 }
 
 // resume hands the run token to c and waits until it parks again.
+// Parallel-round workers call it concurrently for distinct
+// components; the handshake is entirely per component.
 func (s *Subsystem) resume(c *Component, tok tokenMsg) {
 	if c.status == statusNew {
 		s.startGoroutine(c)
 	}
 	c.status = statusRunning
 	c.token <- tok
-	<-s.yieldCh
+	<-c.parked
 }
 
 // startGoroutine launches the component's behaviour wrapper.
@@ -513,7 +595,7 @@ func (s *Subsystem) startGoroutine(c *Component) {
 				}
 				// killPanic: status is managed by the killer.
 			}
-			s.yieldCh <- c
+			c.parked <- struct{}{}
 		}()
 		tok := <-c.token
 		if tok.kill {
@@ -535,7 +617,7 @@ func (s *Subsystem) kill(c *Component) {
 		return
 	default:
 		c.token <- tokenMsg{kill: true}
-		<-s.yieldCh
+		<-c.parked
 	}
 }
 
@@ -561,6 +643,17 @@ func (s *Subsystem) Run(until vtime.Time) error {
 	}
 	s.running = true
 	defer func() { s.running = false }()
+
+	// The inline fast paths and parallel rounds fuse or reorder
+	// scheduling steps; a per-step hook (detail switchpoints, the
+	// debugger) needs to observe every one, so its presence pins the
+	// scheduler to the classic step-at-a-time path.
+	s.fastOK = s.OnStep == nil
+	s.prepareLookahead()
+	if s.workers > 0 {
+		s.startPool()
+		defer s.stopPool()
+	}
 
 	for {
 		// Absorb cross-goroutine requests. Rollbacks are handled
@@ -665,8 +758,12 @@ func (s *Subsystem) Run(until vtime.Time) error {
 
 		// Choose the next action: the component with the smallest key,
 		// and publish the (monotone) lower bounds other goroutines —
-		// notably the safe-time protocol — may rely on.
-		next, key := s.pick()
+		// notably the safe-time protocol — may rely on. The scan also
+		// maintains the runnable index, caches the runner-up key (the
+		// fast-path bound) and computes the safe horizon for a
+		// parallel round.
+		pi := s.scan()
+		next, key := pi.best, pi.key
 		s.pubNow.Store(int64(s.now))
 		s.pubKey.Store(int64(key))
 		if s.OnPublish != nil {
@@ -729,6 +826,14 @@ func (s *Subsystem) Run(until vtime.Time) error {
 			continue
 		}
 
+		// Parallel round: when more than one component's next action
+		// falls strictly inside the safe horizon, dispatch them all
+		// to the worker pool and merge their effects in canonical
+		// order (see parallel.go).
+		if s.workCh != nil && s.fastOK && s.runParallelRound(pi, until) {
+			continue
+		}
+
 		// Execute the step. Components idle in Recv experience the
 		// passage of virtual time: their local times track subsystem
 		// time, preserving the invariant that system time never
@@ -739,7 +844,26 @@ func (s *Subsystem) Run(until vtime.Time) error {
 				c.localTime = s.now
 			}
 		}
+		next.viewNow = s.now
+		next.fastGen = s.extGen.Load()
+		next.fastUntil = 0
+		if s.fastOK {
+			next.fastUntil = s.seqFastBound(pi, until)
+		}
 		s.step(next, key)
+		s.activate(next)
+		// A fused run of inline actions ends past the entry key:
+		// catch the subsystem clock (and idle local times) up to the
+		// last action actually executed, exactly where the
+		// step-at-a-time scheduler would have left them.
+		if next.viewNow > s.now {
+			s.now = next.viewNow
+			for _, c := range s.order {
+				if c.status == statusRecv && c.localTime < s.now {
+					c.localTime = s.now
+				}
+			}
+		}
 
 		if next.err != nil && next.status == statusDone {
 			s.fatal = fmt.Errorf("core: component %s failed: %w", next.name, next.err)
@@ -748,6 +872,41 @@ func (s *Subsystem) Run(until vtime.Time) error {
 			s.OnStep(s.now)
 		}
 	}
+}
+
+// seqFastBound computes the exclusive bound below which the picked
+// component may keep acting inline without handing the token back:
+// the runner-up's key (adjusted for the creation-order tie-break),
+// every gate bound, the run horizon, and the next automatic
+// checkpoint cut. Anything the component does strictly below this
+// bound is exactly what the step-at-a-time scheduler would have done
+// next anyway.
+func (s *Subsystem) seqFastBound(pi planInfo, until vtime.Time) vtime.Time {
+	b := vtime.Infinity
+	if pi.key2 != vtime.Infinity {
+		b = pi.key2
+		if pi.best.index < pi.idx2 {
+			// The picked component wins same-key ties against the
+			// runner-up, so it may still act at key2 itself.
+			b = pi.key2.Add(1)
+		}
+	}
+	for _, g := range s.gates {
+		if gb := g.Bound().Add(1); gb < b {
+			b = gb
+		}
+	}
+	if until != vtime.Infinity {
+		if u := until.Add(1); u < b {
+			b = u
+		}
+	}
+	if s.autoCkpt > 0 {
+		if t := s.lastAuto.Add(s.autoCkpt); t < b {
+			b = t
+		}
+	}
+	return b
 }
 
 // pick returns the component with the smallest scheduling key and the
@@ -797,7 +956,7 @@ func (s *Subsystem) gateBlocked(t vtime.Time) bool {
 // step resumes component c, delivering a message if it is parked in
 // Recv.
 func (s *Subsystem) step(c *Component, key vtime.Time) {
-	s.stats.Steps++
+	atomic.AddInt64(&s.stats.Steps, 1)
 	switch c.status {
 	case statusNew, statusRunnable:
 		s.resume(c, tokenMsg{ok: true})
@@ -809,7 +968,7 @@ func (s *Subsystem) step(c *Component, key vtime.Time) {
 			// checkpoint images copy inbox events by value at capture
 			// time — nothing references e past this point.
 			event.Put(e)
-			s.stats.Deliveries++
+			atomic.AddInt64(&s.stats.Deliveries, 1)
 			s.resume(c, tokenMsg{ok: true, msg: msg})
 			return
 		}
@@ -827,7 +986,10 @@ func (s *Subsystem) signalEOF() bool {
 	for _, c := range s.order {
 		if c.status == statusRecv && !c.eofSignaled {
 			c.eofSignaled = true
+			c.viewNow = s.now
+			c.fastUntil = 0
 			s.resume(c, tokenMsg{ok: false})
+			s.activate(c)
 			return true
 		}
 	}
@@ -847,7 +1009,7 @@ func (s *Subsystem) hasExternal() bool {
 // send on transports freely; a peer reply racing in between lands in
 // the injection queue and makes waitForWake return immediately.
 func (s *Subsystem) stall() {
-	s.stats.Stalls++
+	atomic.AddInt64(&s.stats.Stalls, 1)
 	if s.OnStall != nil {
 		s.OnStall()
 	}
@@ -919,6 +1081,7 @@ func (s *Subsystem) ReplaceBehavior(name string, b Behavior, transfer bool) erro
 	c.eofSignaled = false
 	c.recvPorts = nil
 	c.recvDeadline = vtime.Infinity
+	s.activate(c)
 	s.tracef("%s behaviour reloaded (transfer=%v)", name, transfer)
 	return nil
 }

@@ -114,12 +114,26 @@ type Engine struct {
 	OnSwitch func(sp *Switchpoint, a Action)
 
 	prevStep func(vtime.Time)
+	hooked   bool
 }
 
-// NewEngine creates a switchpoint engine and attaches it to the
-// subsystem's step hook (chaining any existing hook).
+// NewEngine creates a switchpoint engine for the subsystem. The
+// per-step hook is installed lazily, on the first registered
+// switchpoint: a per-step hook pins the scheduler to its
+// step-at-a-time path (no inline fast paths, no parallel rounds), so
+// an engine with no rules must not cost anything.
 func NewEngine(s *core.Subsystem) *Engine {
-	e := &Engine{sub: s}
+	return &Engine{sub: s}
+}
+
+// ensureHook attaches the engine to the subsystem's step hook
+// (chaining any existing hook). Idempotent.
+func (e *Engine) ensureHook() {
+	if e.hooked {
+		return
+	}
+	e.hooked = true
+	s := e.sub
 	e.prevStep = s.OnStep
 	s.OnStep = func(now vtime.Time) {
 		if e.prevStep != nil {
@@ -127,11 +141,13 @@ func NewEngine(s *core.Subsystem) *Engine {
 		}
 		e.Step()
 	}
-	return e
 }
 
 // Add registers a switchpoint.
-func (e *Engine) Add(sp *Switchpoint) { e.switchpoints = append(e.switchpoints, sp) }
+func (e *Engine) Add(sp *Switchpoint) {
+	e.ensureHook()
+	e.switchpoints = append(e.switchpoints, sp)
+}
 
 // AddRule parses and registers a switchpoint rule.
 func (e *Engine) AddRule(src string) (*Switchpoint, error) {

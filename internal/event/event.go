@@ -149,13 +149,39 @@ func (q *Queue) NextTime() vtime.Time {
 	return q.h[0].Time
 }
 
-// Drain removes and returns all events with Time <= t, in order.
+// Drain removes and returns all events with Time <= t, in order. It
+// allocates a fresh slice per call; hot paths should use DrainInto
+// with a reused scratch buffer instead.
 func (q *Queue) Drain(t vtime.Time) []*Event {
-	var out []*Event
+	return q.DrainInto(t, nil)
+}
+
+// DrainInto removes all events with Time <= t, in order, appending
+// them to buf[:0] and returning it (grown as needed). Passing the
+// returned slice back in on the next call makes the drive-fanout
+// drain allocation-free in steady state; the caller owns the events
+// and is expected to hand them back to the pool via Put once
+// consumed.
+func (q *Queue) DrainInto(t vtime.Time, buf []*Event) []*Event {
+	buf = buf[:0]
 	for len(q.h) > 0 && q.h[0].Time <= t {
-		out = append(out, heap.Pop(&q.h).(*Event))
+		buf = append(buf, heap.Pop(&q.h).(*Event))
 	}
-	return out
+	return buf
+}
+
+// PopBatch removes up to max events (all of them when max <= 0) with
+// Time <= t, appending into buf[:0] like DrainInto. It lets a caller
+// bound how much work one drain may claim.
+func (q *Queue) PopBatch(t vtime.Time, max int, buf []*Event) []*Event {
+	buf = buf[:0]
+	for len(q.h) > 0 && q.h[0].Time <= t {
+		if max > 0 && len(buf) >= max {
+			break
+		}
+		buf = append(buf, heap.Pop(&q.h).(*Event))
+	}
+	return buf
 }
 
 // Snapshot returns the pending events in delivery order without

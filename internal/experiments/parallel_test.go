@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParallelSweepInvariant runs a scaled-down sweep and relies on
+// Parallel's built-in divergence check: any difference in virtual
+// time, drive count or drive digest between a parallel leg and the
+// sequential reference returns an error.
+func TestParallelSweepInvariant(t *testing.T) {
+	cfg := ParallelConfig{
+		Workers:   []int{0, 2, 4},
+		Fanout:    8,
+		Rounds:    6,
+		WorkIters: 200,
+		Service:   200 * time.Microsecond,
+		SkipTable: true,
+	}
+	rows, _, err := Parallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	var parRounds int64
+	for _, r := range rows[1:] {
+		parRounds += r.ParRounds
+	}
+	if parRounds == 0 {
+		t.Fatal("parallel legs never dispatched a round")
+	}
+}

@@ -44,6 +44,11 @@ type Table1Config struct {
 	// Coalesce, when enabled, batches cross-node egress on remote
 	// rows. The zero value keeps the one-frame-per-message path.
 	Coalesce pia.CoalesceConfig
+
+	// Workers sizes each subsystem's scheduler worker pool; 0 keeps
+	// the sequential scheduler. Virtual results are identical either
+	// way.
+	Workers int
 }
 
 // DefaultTable1Config reproduces the paper's setup.
@@ -103,6 +108,7 @@ func Local(c Table1Config, level string) (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
+	b.SetWorkers(c.Workers)
 	sim, err := b.BuildLocal()
 	if err != nil {
 		return Table1Row{}, err
@@ -135,6 +141,7 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 		return Table1Row{}, err
 	}
 	b.SetDefaultChannel(pia.Conservative, pia.LoopbackLink)
+	b.SetWorkers(c.Workers)
 	if c.Coalesce.Enabled() {
 		b.SetCoalescing(c.Coalesce)
 	}

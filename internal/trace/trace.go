@@ -10,6 +10,7 @@ package trace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -98,6 +99,21 @@ func (r *Recorder) Events() []Event {
 }
 
 // Len returns the number of retained events.
+// Digest returns an FNV-1a hash over the recorded event stream in
+// order — a cheap fingerprint for asserting that two runs (e.g.
+// sequential vs. parallel scheduling, or clean vs. faulted links)
+// produced bit-for-bit identical traces.
+func (r *Recorder) Digest() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := fnv.New64a()
+	for i := range r.events {
+		e := &r.events[i]
+		fmt.Fprintf(h, "%d|%s|%s|%s|%v\n", e.Time, e.Sub, e.Net, e.Source, e.Value)
+	}
+	return h.Sum64()
+}
+
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -182,6 +182,8 @@ type SystemBuilder struct {
 	resil     ResilienceConfig
 	resilSet  bool
 
+	workers int
+
 	err error
 }
 
@@ -310,6 +312,16 @@ func (b *SystemBuilder) SetResilience(cfg ResilienceConfig) *SystemBuilder {
 	return b
 }
 
+// SetWorkers sets the scheduler worker-pool size applied to every
+// subsystem the build creates. With n > 0 each subsystem dispatches
+// safe-horizon rounds of independent components to n workers; 0 (the
+// default) keeps the classic sequential scheduler. Results are
+// bit-for-bit identical either way; see core.Subsystem.SetWorkers.
+func (b *SystemBuilder) SetWorkers(n int) *SystemBuilder {
+	b.workers = n
+	return b
+}
+
 // Err returns the first accumulated builder error.
 func (b *SystemBuilder) Err() error { return b.err }
 
@@ -403,6 +415,7 @@ func (b *SystemBuilder) BuildLocal() (*Simulation, error) {
 	}
 	for _, subName := range v.Subsystems() {
 		s := core.NewSubsystem(subName)
+		s.SetWorkers(b.workers)
 		sim.Subsystems[subName] = s
 		sim.Hubs[subName] = channel.NewHub(s)
 		sim.subOrder = append(sim.subOrder, subName)
@@ -490,6 +503,15 @@ func (b *SystemBuilder) validateTopology(chans []graph.ChannelSpec) error {
 
 // Subsystem returns a built subsystem by name.
 func (sim *Simulation) Subsystem(name string) *core.Subsystem { return sim.Subsystems[name] }
+
+// SetWorkers resizes the scheduler worker pool of every subsystem in
+// the simulation. Takes effect at the next Run; 0 restores the
+// sequential scheduler.
+func (sim *Simulation) SetWorkers(n int) {
+	for _, s := range sim.Subsystems {
+		s.SetWorkers(n)
+	}
+}
 
 // SubsystemNames returns the subsystem names, sorted.
 func (sim *Simulation) SubsystemNames() []string {
