@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos bench-smoke bench bench-parallel
+.PHONY: ci vet build test race race-core chaos metrics bench-smoke bench bench-parallel
 
-ci: vet build test race race-core chaos bench-smoke
+ci: vet build test race race-core chaos metrics bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,16 @@ race-core:
 # detector.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments/...
+
+# The observability gate: every Stats()/snapshot accessor hammered
+# concurrently with live faulted traffic under the race detector, plus
+# the guard that the drive fanout hot path still allocates nothing
+# with metrics disabled (the registry is pull-based, so shipping it
+# must not move this number).
+metrics:
+	$(GO) vet ./internal/metrics/...
+	$(GO) test -race -count=1 -run 'TestMetricsHammer' .
+	$(GO) test -count=1 -run 'TestDriveFanoutZeroAlloc' ./internal/event/
 
 # One iteration of the headline benchmarks, as a smoke test that the
 # Table 1 experiments still run end to end (including the coalesced

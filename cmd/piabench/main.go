@@ -17,10 +17,14 @@ import (
 	"log"
 	"os"
 	"runtime/pprof"
+	"strings"
+	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
 	pia "repro"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 	"repro/internal/wubbleu"
 )
@@ -38,14 +42,65 @@ var chaosSeed int64
 // that honours it (table1 and the parallel sweep's Table 1 legs).
 var benchWorkers int
 
+// reportEvery, when > 0, prints one structured run-report line at
+// that interval while a metrics-wired experiment leg is running.
+var reportEvery time.Duration
+
+// curReg is the registry of the experiment leg currently running —
+// what the -report ticker snapshots. Each leg swaps in its own fresh
+// registry so successive legs never stack collectors.
+var curReg atomic.Pointer[pia.MetricsRegistry]
+
+// collectMetrics reports whether experiment legs should wire a
+// metrics registry: when the JSON output wants the unified metrics
+// block, or the -report ticker needs something to read.
+func collectMetrics() bool { return jsonOut != "" || reportEvery > 0 }
+
+// metricsHooks returns the Table1Config wiring for metrics-aware
+// runs: collection on, each leg's registry published to the ticker.
+func metricsHooks(cfg *experiments.Table1Config) {
+	if !collectMetrics() {
+		return
+	}
+	cfg.CollectMetrics = true
+	cfg.OnMetrics = func(r *pia.MetricsRegistry) { curReg.Store(r) }
+}
+
+// startReporter launches the -report ticker: one line per interval
+// from the current leg's registry, restricted to the scheduler and
+// wire series so the line stays tailable (the full set is in -json).
+func startReporter() {
+	if reportEvery <= 0 {
+		return
+	}
+	t := time.NewTicker(reportEvery)
+	go func() {
+		for range t.C {
+			r := curReg.Load()
+			if r == nil {
+				continue
+			}
+			var line []pia.MetricSample
+			for _, s := range r.Snapshot() {
+				if strings.HasPrefix(s.Name, "pia_sched_") || strings.HasPrefix(s.Name, "pia_wire_") {
+					line = append(line, s)
+				}
+			}
+			fmt.Println(metrics.ReportLine(time.Now(), line))
+		}
+	}()
+}
+
 func main() {
 	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, coalesce, parallel, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
 	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
 	flag.Int64Var(&chaosSeed, "seed", 1, "fault-schedule seed for -exp chaos")
 	flag.IntVar(&benchWorkers, "workers", 0, "scheduler worker-pool size per subsystem (0 = sequential)")
+	flag.DurationVar(&reportEvery, "report", 0, "print a structured run-report line at this interval while legs run (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	flag.Parse()
+	startReporter()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -105,6 +160,7 @@ func tw() *tabwriter.Writer {
 func table1(pageKB int) error {
 	fmt.Printf("Table 1: time and simulation overhead on several configurations of the WubbleU example (%d KB page)\n\n", pageKB)
 	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4, Workers: benchWorkers}
+	metricsHooks(&cfg)
 	rows, err := experiments.Table1(cfg)
 	if err != nil {
 		return err
@@ -167,6 +223,7 @@ func chaos(pageKB int) error {
 func coalesce(pageKB int) error {
 	fmt.Printf("Coalescing ablation: remote word level, %d KB page\n\n", pageKB)
 	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4}
+	metricsHooks(&cfg)
 	off, on, err := experiments.CoalescingAblation(cfg, "wordLevel")
 	if err != nil {
 		return err
@@ -299,7 +356,17 @@ func writeJSON(cfg experiments.Table1Config, rows []experiments.Table1Row) error
 		PageBytes  int        `json:"page_bytes"`
 		Images     int        `json:"images"`
 		Rows       []benchRow `json:"rows"`
+		// Metrics is the unified metrics block: the full registry
+		// snapshot of the last metrics-wired leg (scheduler counters
+		// and lag gauges, channel endpoints, wire conns, fault links,
+		// sessions).
+		Metrics []pia.MetricSample `json:"metrics,omitempty"`
 	}{Experiment: "table1", PageBytes: cfg.PageSize, Images: cfg.Images}
+	for _, r := range rows {
+		if r.Metrics != nil {
+			out.Metrics = r.Metrics
+		}
+	}
 	for _, r := range rows {
 		out.Rows = append(out.Rows, benchRow{
 			Location:     r.Location,

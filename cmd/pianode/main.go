@@ -14,16 +14,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/resilience"
 	"repro/internal/vtime"
@@ -62,6 +67,11 @@ func main() {
 	retryMax := flag.Int("retry-max", 0, "reconnect attempts per outage before giving up (0 = default)")
 	retentionFrames := flag.Int("retention-frames", 0, "unacked frames retained for resume (0 = default)")
 	retentionBytes := flag.Int("retention-bytes", 0, "unacked bytes retained for resume (0 = default)")
+
+	// Observability: the unified metrics registry, exposed over HTTP
+	// and/or as periodic run-report lines.
+	metricsAddr := flag.String("metrics", "", "serve /metrics (JSON + Prometheus text) and /healthz on this address (empty = off)")
+	report := flag.Duration("report", 0, "print a structured run-report line at this interval (0 = off)")
 	flag.Parse()
 
 	cfg := wubbleu.DefaultConfig()
@@ -129,12 +139,38 @@ func main() {
 		}
 	}
 
+	// The metrics registry is created only when something will read
+	// it; with both flags off the node runs on the zero-overhead
+	// disabled path (nil registry, nil scheduler gauges).
+	var reg *metrics.Registry
+	if *metricsAddr != "" || *report > 0 {
+		reg = metrics.NewRegistry()
+		n.EnableMetrics(reg)
+	}
+
 	addr, err := n.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pianode: serving subsystem %q (level %s, %d KB page) on %s\n",
 		sub.Name(), cfg.Level, *pageKB, addr)
+
+	if *metricsAddr != "" {
+		maddr, err := serveMetrics(*metricsAddr, reg, n, *resilient)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pianode: metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
+	}
+	if *report > 0 {
+		t := time.NewTicker(*report)
+		defer t.Stop()
+		go func() {
+			for range t.C {
+				fmt.Println(reportLine(sub, n))
+			}
+		}()
+	}
 
 	// The listening socket is a standing ingress source: the
 	// subsystem must not declare the simulation over just because no
@@ -158,4 +194,81 @@ func main() {
 		<-done
 	}
 	n.Close()
+}
+
+// serveMetrics starts the observability HTTP listener: /metrics in
+// Prometheus text by default (JSON via ?format=json or an Accept
+// header asking for application/json), /healthz reporting session
+// liveness. Returns the bound address.
+func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient bool) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		total, alive := n.SessionHealth()
+		rs := n.ResilienceStats()
+		status := "ok"
+		code := http.StatusOK
+		// A dead session is one that exhausted its retry budget or
+		// hit an unresumable gap: the designer on its far end is
+		// gone for good, which is exactly what a health probe should
+		// surface. Sessions mid-outage still count as alive.
+		if resilient && total > alive {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":          status,
+			"resilient":       resilient,
+			"sessions":        total,
+			"sessions_alive":  alive,
+			"epoch_deaths":    rs.EpochDeaths,
+			"resumes":         rs.Resumes,
+			"replayed_frames": rs.ReplayedFrames,
+			"rewinds":         rs.Rewinds,
+		})
+	})
+	srv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pianode: -metrics %s: %w", addr, err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("pianode: metrics server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// reportLine renders one structured run-report line from the node's
+// race-safe accessors: virtual progress, scheduler counters, wire
+// and session totals. One line per -report interval, logfmt-style,
+// so a long-running vendor node can be tailed without a scraper.
+func reportLine(sub *core.Subsystem, n *node.Node) string {
+	now, key := sub.PublishedTimes()
+	st := sub.Stats()
+	ws := n.WireStats()
+	rs := n.ResilienceStats()
+	total, alive := n.SessionHealth()
+	keyStr := "inf"
+	if key != vtime.Infinity {
+		keyStr = fmt.Sprintf("%d", int64(key))
+	}
+	return fmt.Sprintf("pia-report t=%s vnow=%d vnext=%s steps=%d deliveries=%d drives=%d stalls=%d par_rounds=%d "+
+		"frames_out=%d frames_in=%d bytes_out=%d bytes_in=%d sessions=%d/%d epoch_deaths=%d resumes=%d rewinds=%d",
+		time.Now().UTC().Format("15:04:05.000"), int64(now), keyStr,
+		st.Steps, st.Deliveries, st.Drives, st.Stalls, st.ParRounds,
+		ws.FramesOut, ws.FramesIn, ws.BytesOut, ws.BytesIn,
+		alive, total, rs.EpochDeaths, rs.Resumes, rs.Rewinds)
 }

@@ -152,6 +152,22 @@ func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, erro
 	return cl, nil
 }
 
+// EnableMetrics wires the whole cluster into reg and returns the
+// registry used: every hosted subsystem and hub (via each node), plus
+// the node-level surfaces a local Simulation does not have — wire
+// connections, fault-injection links, and resilient sessions. A nil
+// reg selects the process-default registry (the one pia.Metrics()
+// reads). Call between BuildOnNodes and Run.
+func (cl *Cluster) EnableMetrics(reg *MetricsRegistry) *MetricsRegistry {
+	if reg == nil {
+		reg = DefaultMetrics()
+	}
+	for _, n := range cl.nodeSet {
+		n.EnableMetrics(reg)
+	}
+	return reg
+}
+
 // Run executes the cluster's subsystems, iterating rounds until
 // quiescent like Simulation.Run; TCP flushing is awaited with a
 // small backoff.

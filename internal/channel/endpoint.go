@@ -85,7 +85,8 @@ type Hub struct {
 	mu  sync.Mutex
 	eps []*Endpoint
 
-	closed bool
+	closed    bool
+	metricsOn bool // EnableMetrics already wired a collector
 }
 
 // NewHub creates the hub and installs its publish hook.

@@ -1,0 +1,54 @@
+package channel
+
+import "repro/internal/metrics"
+
+// EnableMetrics wires the hub's endpoints into reg, pull-style: a
+// collector iterates the live endpoint list at snapshot time and
+// reads each endpoint's race-safe Stats() copy plus its egress queue
+// depth. No endpoint hot path changes — and endpoints created after
+// this call (a vendor node accepting a new designer connection) are
+// picked up automatically because the list is walked per snapshot.
+// Idempotent per hub.
+func (h *Hub) EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.metricsOn {
+		h.mu.Unlock()
+		return
+	}
+	h.metricsOn = true
+	h.mu.Unlock()
+	sub := h.sub.Name()
+	reg.AddCollector(func(emit func(metrics.Sample)) {
+		for _, ep := range h.Endpoints() {
+			st := ep.Stats()
+			peer := ep.Peer()
+			counter := func(metric string, v int64) {
+				emit(metrics.Sample{
+					Name:  metrics.Label(metric, "sub", sub, "peer", peer),
+					Kind:  metrics.KindCounter,
+					Value: v,
+				})
+			}
+			counter("pia_chan_data_out", st.DataOut)
+			counter("pia_chan_data_in", st.DataIn)
+			counter("pia_chan_bytes_out", st.BytesOut)
+			counter("pia_chan_bytes_in", st.BytesIn)
+			counter("pia_chan_asks_out", st.AsksOut)
+			counter("pia_chan_asks_in", st.AsksIn)
+			counter("pia_chan_grants_out", st.GrantsOut)
+			counter("pia_chan_grants_in", st.GrantsIn)
+			counter("pia_chan_stragglers", st.Stragglers)
+			counter("pia_chan_seq_errors", st.SeqErrors)
+			counter("pia_chan_flushes", st.Flushes)
+			counter("pia_chan_flushed_msgs", st.FlushedMsgs)
+			emit(metrics.Sample{
+				Name:  metrics.Label("pia_chan_egress_queue", "sub", sub, "peer", peer),
+				Kind:  metrics.KindGauge,
+				Value: int64(ep.PendingOut()),
+			})
+		}
+	})
+}

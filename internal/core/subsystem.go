@@ -139,6 +139,11 @@ type Subsystem struct {
 	fatal   error
 
 	stats Stats
+
+	// mSched, when non-nil, holds the per-round metric gauges (see
+	// metrics.go). Nil means metrics are disabled and the scheduler
+	// loop pays one nil check per round, nothing more.
+	mSched *schedMetrics
 }
 
 // Stats accumulates scheduler counters for benchmarks and reports.
@@ -768,6 +773,9 @@ func (s *Subsystem) Run(until vtime.Time) error {
 		s.pubKey.Store(int64(key))
 		if s.OnPublish != nil {
 			s.OnPublish(s.now, key)
+		}
+		if s.mSched != nil {
+			s.sampleMetrics()
 		}
 
 		// A finite-horizon run ends when no local action remains at or

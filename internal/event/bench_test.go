@@ -59,6 +59,31 @@ func BenchmarkDriveFanout(b *testing.B) {
 	})
 }
 
+// TestDriveFanoutZeroAlloc is the CI guard behind BenchmarkDriveFanout:
+// the pooled + scratch-buffer fast path must stay at exactly 0
+// allocs/op. The metrics layer is pull-based (collectors walk existing
+// Stats() accessors at snapshot time) precisely so this number cannot
+// move when observability ships disabled; a regression here means
+// someone put work back on the drive hot path.
+func TestDriveFanoutZeroAlloc(t *testing.T) {
+	const fanout = 32
+	var q Queue
+	scratch := make([]*Event, 0, fanout)
+	tick := vtime.Time(0)
+	// Warm the pool and the scratch buffer to steady state first.
+	for i := 0; i < 16; i++ {
+		scratch = driveFanout(&q, tick, fanout, scratch, true)
+		tick++
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		scratch = driveFanout(&q, tick, fanout, scratch, true)
+		tick++
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled drive fanout allocates %.1f times/op, want 0", allocs)
+	}
+}
+
 func TestDrainIntoAndPopBatch(t *testing.T) {
 	var q Queue
 	for i := 10; i >= 1; i-- {

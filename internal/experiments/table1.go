@@ -33,6 +33,12 @@ type Table1Row struct {
 	// frames.
 	FramesOut    int64
 	WireBytesOut int64
+
+	// Metrics is the leg's unified metrics snapshot, taken right
+	// after the run completes and before teardown. Populated only
+	// with Table1Config.CollectMetrics; nil otherwise (the
+	// zero-overhead default).
+	Metrics []pia.MetricSample
 }
 
 // Table1Config scales the experiment (the paper used the full 66 KB
@@ -49,6 +55,17 @@ type Table1Config struct {
 	// the sequential scheduler. Virtual results are identical either
 	// way.
 	Workers int
+
+	// CollectMetrics wires each simulated leg into a fresh metrics
+	// registry and attaches its end-of-run snapshot to the returned
+	// row. Off by default so benchmarks measure the disabled path.
+	CollectMetrics bool
+
+	// OnMetrics, when set together with CollectMetrics, receives
+	// each leg's live registry as soon as it is wired — the hook
+	// piabench's -report ticker reads progress from while a leg is
+	// still running.
+	OnMetrics func(*pia.MetricsRegistry)
 }
 
 // DefaultTable1Config reproduces the paper's setup.
@@ -113,6 +130,13 @@ func Local(c Table1Config, level string) (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
+	var reg *pia.MetricsRegistry
+	if c.CollectMetrics {
+		reg = sim.EnableMetrics(pia.NewMetricsRegistry())
+		if c.OnMetrics != nil {
+			c.OnMetrics(reg)
+		}
+	}
 	start := time.Now()
 	if err := sim.Run(pia.Infinity); err != nil {
 		return Table1Row{}, err
@@ -125,6 +149,7 @@ func Local(c Table1Config, level string) (Table1Row, error) {
 	return Table1Row{
 		Location: "local", Level: levelName(level),
 		Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives,
+		Metrics: reg.Snapshot(),
 	}, nil
 }
 
@@ -154,6 +179,13 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 		return Table1Row{}, err
 	}
 	defer cl.Close()
+	var reg *pia.MetricsRegistry
+	if c.CollectMetrics {
+		reg = cl.EnableMetrics(pia.NewMetricsRegistry())
+		if c.OnMetrics != nil {
+			c.OnMetrics(reg)
+		}
+	}
 	start := time.Now()
 	if err := cl.Run(horizon(cfg)); err != nil {
 		return Table1Row{}, err
@@ -166,6 +198,7 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 	row := Table1Row{
 		Location: "remote", Level: levelName(level),
 		Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives,
+		Metrics: reg.Snapshot(),
 	}
 	for _, n := range []*pia.Node{n1, n2} {
 		ws := n.WireStats()

@@ -204,6 +204,13 @@ type Link struct {
 	stats    Stats
 	cutUntil time.Time
 
+	// now is the clock partition-heal windows are measured against.
+	// It defaults to time.Now; tests inject a manual clock with
+	// SetClock so that WHEN a cut heals no longer depends on host
+	// speed. Which frames trigger cuts is decided by the seeded
+	// schedule either way and stays in the schedule digest.
+	now func() time.Time
+
 	// Tracer, when set, receives one line per injected fault.
 	Tracer func(string)
 }
@@ -211,7 +218,21 @@ type Link struct {
 // NewLink creates the fault state for one named link. The name goes
 // into the seed derivation, so give distinct links distinct names.
 func NewLink(name string, cfg Config) *Link {
-	return &Link{name: name, cfg: cfg, dec: newDecider(cfg, name)}
+	return &Link{name: name, cfg: cfg, dec: newDecider(cfg, name), now: time.Now}
+}
+
+// SetClock replaces the wall clock the link uses to time partition
+// heals. Injecting a manual clock makes cut/heal observations fully
+// deterministic: a link stays Broken until the injected clock is
+// advanced past the heal window, no matter how fast or slow the host
+// executes. Call before traffic flows; a nil clock restores time.Now.
+func (l *Link) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
 }
 
 // Name returns the link's name.
@@ -249,7 +270,7 @@ func (l *Link) VerifyDigest() error {
 func (l *Link) Broken() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return time.Now().Before(l.cutUntil)
+	return l.now().Before(l.cutUntil)
 }
 
 func (l *Link) trace(format string, args ...any) {
@@ -406,7 +427,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 func (c *Conn) processFrame(frame []byte) error {
 	l := c.link
 	l.mu.Lock()
-	if time.Now().Before(l.cutUntil) {
+	if l.now().Before(l.cutUntil) {
 		// Mid-cut writes are not part of the schedule: the epoch is
 		// already dead, the writer just has not noticed yet.
 		l.mu.Unlock()
@@ -417,7 +438,7 @@ func (c *Conn) processFrame(frame []byte) error {
 	act, mask, jfrac := l.dec.next()
 	if act&actCut != 0 {
 		heal := l.cfg.Partitions[l.dec.partIdx-1].Heal
-		l.cutUntil = time.Now().Add(heal)
+		l.cutUntil = l.now().Add(heal)
 		l.stats.Cuts++
 		l.mu.Unlock()
 		l.trace("faultnet %s: frame %d: cut link for %v", l.name, idx, heal)

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
+	"slices"
+	"sync"
 	"testing"
 	"time"
 )
@@ -196,6 +199,102 @@ func TestScriptedPartition(t *testing.T) {
 	}
 	if err := l.VerifyDigest(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fakeClock is a manually advanced clock for SetClock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestPartitionHealDeterministicUnderSlowClock replays the same
+// scripted cut/heal sequence twice — once at full speed and once on
+// an artificially slow host (real sleeps longer than the heal
+// windows injected between every operation). With the link clock
+// injected, both replays must observe the identical cut/heal decision
+// sequence, the identical stats, and the identical schedule digest;
+// before the clock was injectable, the slow run would have seen the
+// 5ms heal windows expire behind its back.
+func TestPartitionHealDeterministicUnderSlowClock(t *testing.T) {
+	cfg := Config{Partitions: []Partition{
+		{AtFrame: 3, Heal: 5 * time.Millisecond},
+		{AtFrame: 8, Heal: 5 * time.Millisecond},
+	}}
+	replay := func(slow bool) ([]string, Stats) {
+		var dally func()
+		if slow {
+			dally = func() { time.Sleep(8 * time.Millisecond) } // longer than any heal
+		} else {
+			dally = func() {}
+		}
+		clock := &fakeClock{t: time.Unix(1_000_000, 0)}
+		s := &sink{}
+		l := NewLink("slowclock", cfg)
+		l.SetClock(clock.Now)
+		c := l.Wrap(s)
+		var log []string
+		for i := 0; i < 12; i++ {
+			dally()
+			_, err := c.Write(frame([]byte{byte(i)}))
+			switch {
+			case errors.Is(err, ErrLinkCut):
+				log = append(log, fmt.Sprintf("cut@%d", i))
+				dally()
+				log = append(log, fmt.Sprintf("broken=%v", l.Broken()))
+				// A write attempted mid-cut dies without entering the
+				// schedule: the epoch is already gone.
+				c = l.Wrap(s)
+				if _, err := c.Write(frame([]byte{0xFF})); !errors.Is(err, ErrLinkCut) {
+					t.Fatalf("mid-cut write: got %v, want ErrLinkCut", err)
+				}
+				log = append(log, "midcut-rejected")
+				clock.Advance(6 * time.Millisecond) // past the heal window
+				log = append(log, fmt.Sprintf("healed=%v", !l.Broken()))
+				c = l.Wrap(s)
+			case err != nil:
+				t.Fatal(err)
+			default:
+				log = append(log, fmt.Sprintf("fwd@%d", i))
+			}
+		}
+		if err := l.VerifyDigest(); err != nil {
+			t.Fatal(err)
+		}
+		return log, l.Stats()
+	}
+	fastLog, fastStats := replay(false)
+	slowLog, slowStats := replay(true)
+	if !slices.Equal(fastLog, slowLog) {
+		t.Fatalf("cut/heal sequence depends on host speed:\nfast: %v\nslow: %v", fastLog, slowLog)
+	}
+	if fastStats != slowStats {
+		t.Fatalf("stats depend on host speed:\nfast: %+v\nslow: %+v", fastStats, slowStats)
+	}
+	if fastStats.Cuts != 2 {
+		t.Fatalf("cuts = %d, want 2", fastStats.Cuts)
+	}
+	want := []string{
+		"fwd@0", "fwd@1", "fwd@2",
+		"cut@3", "broken=true", "midcut-rejected", "healed=true",
+		"fwd@4", "fwd@5", "fwd@6", "fwd@7",
+		"cut@8", "broken=true", "midcut-rejected", "healed=true",
+		"fwd@9", "fwd@10", "fwd@11",
+	}
+	if !slices.Equal(fastLog, want) {
+		t.Fatalf("decision log:\ngot:  %v\nwant: %v", fastLog, want)
 	}
 }
 

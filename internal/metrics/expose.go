@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteJSON writes the snapshot as a single JSON object:
+//
+//	{"metrics":[{"name":...,"kind":...,"value":...},...]}
+//
+// The sample list is sorted by name, so output is deterministic for a
+// given registry state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.Snapshot()
+	if samples == nil {
+		samples = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Metrics []Sample `json:"metrics"`
+	}{samples})
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (text/plain; version 0.0.4): one `# TYPE` line
+// per base metric name followed by its sample lines. Histograms
+// expand to `_bucket{le=...}` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for _, s := range r.Snapshot() {
+		base, labels := splitName(s.Name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, s.Kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch s.Kind {
+		case KindHistogram:
+			var cum int64
+			for _, b := range s.Buckets {
+				cum = b.Count
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabel(labels, "le", fmt.Sprint(b.LE)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabel(labels, "le", "+Inf"), s.Value); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %d\n", base, labels, s.Sum); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", base, labels, s.Value)
+		default:
+			_, err = fmt.Fprintf(w, "%s %d\n", s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitName separates `base{labels}` into base and `{labels}` (empty
+// string when unlabelled).
+func splitName(full string) (base, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], full[i:]
+	}
+	return full, ""
+}
+
+// withLabel appends one more label to an existing `{...}` clause (or
+// starts one).
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// ReportLine renders a compact single-line run report from a
+// snapshot: `pia-report t=<stamp> name=value name=value ...`. Only
+// counters and gauges appear; histogram detail stays in /metrics.
+// Used by the CLIs' -report tickers so operators can tail one line
+// per interval without a scrape pipeline.
+func ReportLine(stamp time.Time, samples []Sample) string {
+	var b strings.Builder
+	b.Grow(64 + 24*len(samples))
+	b.WriteString("pia-report t=")
+	b.WriteString(stamp.UTC().Format("15:04:05.000"))
+	for _, s := range samples {
+		if s.Kind == KindHistogram {
+			continue
+		}
+		b.WriteByte(' ')
+		b.WriteString(s.Name)
+		b.WriteByte('=')
+		fmt.Fprintf(&b, "%d", s.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1, 2})
+	// All no-ops; must not panic.
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	g.Add(-3)
+	h.Observe(1)
+	r.AddCollector(func(emit func(Sample)) { emit(Sample{Name: "nope"}) })
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", got)
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pia_test_count")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("pia_test_count"); again != c {
+		t.Fatal("get-or-create must return the same counter")
+	}
+
+	g := r.Gauge("pia_test_gauge")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+
+	h := r.Histogram("pia_test_hist", []int64{10, 100})
+	for _, v := range []int64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	byName := map[string]Sample{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	hs := byName["pia_test_hist"]
+	if hs.Value != 4 || hs.Sum != 556 {
+		t.Fatalf("hist count/sum = %d/%d, want 4/556", hs.Value, hs.Sum)
+	}
+	want := []Bucket{{LE: 10, Count: 2}, {LE: 100, Count: 3}}
+	if len(hs.Buckets) != 2 || hs.Buckets[0] != want[0] || hs.Buckets[1] != want[1] {
+		t.Fatalf("hist buckets = %+v, want %+v", hs.Buckets, want)
+	}
+}
+
+func TestKindClashReturnsNil(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("same")
+	if g := r.Gauge("same"); g != nil {
+		t.Fatal("gauge under a counter name must be nil")
+	}
+	// And the nil result must still be safe to use.
+	r.Gauge("same").Set(1)
+}
+
+func TestCollectorAndOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_live").Add(2)
+	r.AddCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "a_pulled", Kind: KindGauge, Value: 9})
+		emit(Sample{Name: "c_pulled", Kind: KindCounter, Value: 1})
+	})
+	snap := r.Snapshot()
+	var names []string
+	for _, s := range snap {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, ",") != "a_pulled,b_live,c_pulled" {
+		t.Fatalf("snapshot order = %v", names)
+	}
+}
+
+func TestSnapshotDedup(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("dup").Set(1)
+	r.AddCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "dup", Kind: KindGauge, Value: 99})
+	})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 1 {
+		t.Fatalf("dedup failed: %+v (live instrument must win)", snap)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("pia_x"); got != "pia_x" {
+		t.Fatal(got)
+	}
+	got := Label("pia_x", "sub", "handheld", "peer", "modem")
+	if got != `pia_x{sub="handheld",peer="modem"}` {
+		t.Fatal(got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("pia_j", "n", "1")).Add(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if len(doc.Metrics) != 1 || doc.Metrics[0].Value != 3 {
+		t.Fatalf("round-trip = %+v", doc.Metrics)
+	}
+
+	// An empty registry must still produce a valid document with an
+	// empty (not null) list.
+	buf.Reset()
+	if err := NewRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"metrics":[]`) {
+		t.Fatalf("empty registry JSON = %q", buf.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("pia_frames", "node", "n1")).Add(7)
+	r.Counter(Label("pia_frames", "node", "n2")).Add(9)
+	h := r.Histogram("pia_lat", []int64{10})
+	h.Observe(5)
+	h.Observe(50)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pia_frames counter\n",
+		`pia_frames{node="n1"} 7` + "\n",
+		`pia_frames{node="n2"} 9` + "\n",
+		"# TYPE pia_lat histogram\n",
+		`pia_lat_bucket{le="10"} 1` + "\n",
+		`pia_lat_bucket{le="+Inf"} 2` + "\n",
+		"pia_lat_sum 55\n",
+		"pia_lat_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE pia_frames") != 1 {
+		t.Fatalf("TYPE line must appear once per base name:\n%s", out)
+	}
+}
+
+func TestReportLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps").Add(12)
+	r.Gauge("runnable").Set(3)
+	r.Histogram("skip_me", []int64{1}).Observe(1)
+	line := ReportLine(time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), r.Snapshot())
+	if !strings.HasPrefix(line, "pia-report t=03:04:05.000") {
+		t.Fatal(line)
+	}
+	if !strings.Contains(line, "steps=12") || !strings.Contains(line, "runnable=3") {
+		t.Fatal(line)
+	}
+	if strings.Contains(line, "skip_me") {
+		t.Fatalf("histograms must not appear in report lines: %s", line)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("pia_cc").Inc()
+				r.Gauge("pia_cg").Set(int64(j))
+				r.Histogram("pia_ch", []int64{100, 500}).Observe(int64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("pia_cc").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 	"repro/internal/snapshot"
 	"repro/internal/vtime"
@@ -106,6 +107,10 @@ type Node struct {
 	flinks    []*faultnet.Link
 	sessions  []*resilience.Session
 
+	// metricsReg, when non-nil, is the registry every hosted
+	// subsystem and connection surface reports into (see metrics.go).
+	metricsReg *metrics.Registry
+
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
 }
@@ -130,6 +135,10 @@ func (n *Node) Host(sub *core.Subsystem) *Hosted {
 	}
 	h := &Hosted{Sub: sub, Hub: channel.NewHub(sub)}
 	n.hosted[sub.Name()] = h
+	if n.metricsReg != nil {
+		h.Sub.EnableMetrics(n.metricsReg)
+		h.Hub.EnableMetrics(n.metricsReg)
+	}
 	return h
 }
 

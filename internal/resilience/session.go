@@ -409,6 +409,13 @@ func (s *Session) Err() error {
 	return s.err
 }
 
+// Alive reports whether the session is still usable: it has not been
+// terminally killed (retry budget exhausted, unresumable gap, peer
+// refusal). A session mid-outage — dead epoch, redial in progress —
+// is still alive. This is the liveness signal behind a node's
+// /healthz endpoint.
+func (s *Session) Alive() bool { return s.Err() == nil }
+
 // epochDead retires one connection epoch. The session itself stays
 // alive: the dialing side's redial loop takes over, the accepting
 // side waits for the peer to come back.

@@ -32,9 +32,21 @@ type Event struct {
 // Recorder collects events from attached subsystems. Safe for
 // concurrent attachment to multiple subsystems (each scheduler calls
 // in on its own goroutine).
+//
+// With a retention limit the storage is a ring buffer: once full,
+// each append overwrites the oldest event in place, so steady-state
+// recording is O(1) per event instead of re-copying the whole
+// retained window (which made a limited recorder O(n·limit) over a
+// run).
 type Recorder struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// events holds the retained window. Unlimited (limit == 0) it is
+	// a plain append slice with head == 0. Limited, it fills like a
+	// slice until len == limit, then becomes a ring: head indexes the
+	// oldest event and appends overwrite in place.
 	events []Event
+	head   int
+	n      int // retained count; always == len(events) until the ring wraps
 	limit  int
 }
 
@@ -66,24 +78,50 @@ func (r *Recorder) Attach(s *core.Subsystem) {
 
 func (r *Recorder) record(e Event) {
 	r.mu.Lock()
-	r.events = append(r.events, e)
-	if r.limit > 0 && len(r.events) > r.limit {
-		r.events = append(r.events[:0], r.events[len(r.events)-r.limit:]...)
+	if r.limit > 0 && r.n == r.limit {
+		// Ring full: overwrite the oldest in place. O(1) steady
+		// state, no re-copying of the retained window.
+		r.events[r.head] = e
+		r.head++
+		if r.head == r.limit {
+			r.head = 0
+		}
+	} else {
+		r.events = append(r.events, e)
+		r.n++
 	}
 	r.mu.Unlock()
 }
 
+// forEachLocked visits the retained events in record order (oldest
+// first). Caller holds r.mu.
+func (r *Recorder) forEachLocked(fn func(*Event)) {
+	if r.n == 0 {
+		return
+	}
+	for i := r.head; i < len(r.events); i++ {
+		fn(&r.events[i])
+	}
+	for i := 0; i < r.head; i++ {
+		fn(&r.events[i])
+	}
+}
+
 // dropAfter removes a subsystem's events from its discarded future.
+// Rare (one call per checkpoint restore), so it linearizes the ring
+// into a fresh compact slice rather than compacting in place.
 func (r *Recorder) dropAfter(sub string, t vtime.Time) {
 	r.mu.Lock()
-	kept := r.events[:0]
-	for _, e := range r.events {
+	kept := make([]Event, 0, r.n)
+	r.forEachLocked(func(e *Event) {
 		if e.Sub == sub && e.Time > t {
-			continue
+			return
 		}
-		kept = append(kept, e)
-	}
+		kept = append(kept, *e)
+	})
 	r.events = kept
+	r.head = 0
+	r.n = len(kept)
 	r.mu.Unlock()
 }
 
@@ -91,14 +129,13 @@ func (r *Recorder) dropAfter(sub string, t vtime.Time) {
 // keep record order).
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, r.n)
+	r.forEachLocked(func(e *Event) { out = append(out, *e) })
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
 	return out
 }
 
-// Len returns the number of retained events.
 // Digest returns an FNV-1a hash over the recorded event stream in
 // order — a cheap fingerprint for asserting that two runs (e.g.
 // sequential vs. parallel scheduling, or clean vs. faulted links)
@@ -107,17 +144,17 @@ func (r *Recorder) Digest() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := fnv.New64a()
-	for i := range r.events {
-		e := &r.events[i]
+	r.forEachLocked(func(e *Event) {
 		fmt.Fprintf(h, "%d|%s|%s|%s|%v\n", e.Time, e.Sub, e.Net, e.Source, e.Value)
-	}
+	})
 	return h.Sum64()
 }
 
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.n
 }
 
 // WriteText dumps a human-readable event log.

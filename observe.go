@@ -3,10 +3,62 @@ package pia
 import (
 	"repro/internal/debug"
 	"repro/internal/iss"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
 // Observability and debugging surface.
+
+type (
+	// MetricsRegistry is the unified metrics surface: counters,
+	// gauges, and histograms from every layer (scheduler, channel
+	// endpoints, wire connections, fault links, resilient sessions),
+	// collected on demand by Snapshot/WriteJSON/WritePrometheus. A
+	// nil registry is inert, which is the zero-overhead disabled
+	// path.
+	MetricsRegistry = metrics.Registry
+	// MetricSample is one metric value at snapshot time.
+	MetricSample = metrics.Sample
+	// MetricBucket is one cumulative histogram bucket in a sample.
+	MetricBucket = metrics.Bucket
+)
+
+// NewMetricsRegistry creates an empty metrics registry. Pass it to
+// Simulation.EnableMetrics / Cluster.EnableMetrics / Node metrics
+// wiring, then read it with Snapshot or serve it over HTTP (see
+// cmd/pianode's -metrics flag).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// defaultMetrics is the process-wide registry behind pia.Metrics():
+// the convenience surface for programs with one simulation. Tests and
+// multi-simulation processes should pass their own registry to
+// EnableMetrics instead, or successive runs will stack collectors
+// with colliding series names.
+var defaultMetrics = metrics.NewRegistry()
+
+// DefaultMetrics returns the process-wide default registry (the one
+// EnableMetrics(nil) wires into and Metrics() snapshots).
+func DefaultMetrics() *MetricsRegistry { return defaultMetrics }
+
+// Metrics returns a snapshot of the process-default registry, sorted
+// by metric name. Safe to call at any time, including while
+// simulations run.
+func Metrics() []MetricSample { return defaultMetrics.Snapshot() }
+
+// EnableMetrics wires every subsystem scheduler and channel hub of
+// the simulation into reg and returns the registry used. A nil reg
+// selects the process-default registry (the one pia.Metrics()
+// reads). Call between BuildLocal and Run.
+func (sim *Simulation) EnableMetrics(reg *MetricsRegistry) *MetricsRegistry {
+	if reg == nil {
+		reg = defaultMetrics
+	}
+	for _, name := range sim.subOrder {
+		sim.Subsystems[name].EnableMetrics(reg)
+		sim.Hubs[name].EnableMetrics(reg)
+	}
+	return reg
+}
 
 type (
 	// TraceRecorder taps net drives for waveform/text export.
