@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos metrics bench-smoke bench bench-parallel
+.PHONY: ci vet build test race race-core chaos metrics timeline bench-smoke bench bench-parallel
 
-ci: vet build test race race-core chaos metrics bench-smoke
+ci: vet build test race race-core chaos metrics timeline bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,16 @@ chaos:
 metrics:
 	$(GO) vet ./internal/metrics/...
 	$(GO) test -race -count=1 -run 'TestMetricsHammer' .
+	$(GO) test -count=1 -run 'TestDriveFanoutZeroAlloc' ./internal/event/
+
+# The timeline gate: determinism (the merged canonical export of the
+# faulted two-node run is byte-identical across same-seed reruns),
+# rewind semantics (rolled-back spans drop from the export), and the
+# disabled-path guard (the nil-recorder emitters and the drive fanout
+# hot path stay at exactly 0 allocs/op with the timeline off).
+timeline:
+	$(GO) test -count=1 ./internal/timeline/ ./internal/trace/
+	$(GO) test -count=1 -run 'TestTimelineChaos' ./internal/experiments/
 	$(GO) test -count=1 -run 'TestDriveFanoutZeroAlloc' ./internal/event/
 
 # One iteration of the headline benchmarks, as a smoke test that the

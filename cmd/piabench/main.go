@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync/atomic"
@@ -37,6 +38,11 @@ var jsonOut string
 // chaosSeed fixes the fault schedule of -exp chaos; the same seed
 // reproduces the same drops, reorders and partition, frame for frame.
 var chaosSeed int64
+
+// timelineOut, when non-empty, makes -exp chaos (and -exp timeline)
+// run the instrumented chaos leg and write its merged canonical
+// Perfetto trace to this file.
+var timelineOut string
 
 // benchWorkers sizes the scheduler worker pool of every experiment
 // that honours it (table1 and the parallel sweep's Table 1 legs).
@@ -92,13 +98,15 @@ func startReporter() {
 }
 
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, coalesce, parallel, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, parallel, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
 	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
 	flag.Int64Var(&chaosSeed, "seed", 1, "fault-schedule seed for -exp chaos")
 	flag.IntVar(&benchWorkers, "workers", 0, "scheduler worker-pool size per subsystem (0 = sequential)")
 	flag.DurationVar(&reportEvery, "report", 0, "print a structured run-report line at this interval while legs run (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
+	flag.StringVar(&timelineOut, "timeline", "", "write the merged canonical Perfetto timeline of the chaos run to this file (with -exp chaos or -exp timeline)")
 	flag.Parse()
 	startReporter()
 
@@ -115,10 +123,24 @@ func main() {
 			f.Close()
 		}()
 	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	runners := map[string]func(int) error{
 		"table1":      table1,
 		"chaos":       chaos,
+		"timeline":    timelineExp,
 		"coalesce":    coalesce,
 		"parallel":    parallel,
 		"fig1":        fig1,
@@ -215,6 +237,55 @@ func chaos(pageKB int) error {
 	fmt.Printf("\nresult invariant holds: virtual time %v and %d drives identical across legs\n", faulty.Virt, faulty.Drives)
 	fmt.Printf("fault mix: %d dropped, %d duplicated, %d reordered, %d corrupted, %d partition cuts (schedule digests verified)\n",
 		faulty.Faults.Dropped, faulty.Faults.Duplicated, faulty.Faults.Reordered, faulty.Faults.Corrupted, faulty.Faults.Cuts)
+	if timelineOut != "" {
+		return writeChaosTimeline(cfg)
+	}
+	return nil
+}
+
+// writeChaosTimeline runs the instrumented chaos leg (with the
+// scripted rewind) and writes the merged canonical Perfetto trace.
+func writeChaosTimeline(cfg experiments.ChaosConfig) error {
+	res, err := experiments.ChaosTimeline(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(timelineOut, res.Trace, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s: %d canonical events, %d cross-node flows (%d paired deliveries), %d rewind marker(s) — open at ui.perfetto.dev\n",
+		timelineOut, res.Canonical, res.Flows, res.Delivers, res.Rewinds)
+	return nil
+}
+
+// timelineExp measures timeline overhead on the Table 1 remote
+// word-level leg: same workload, recorders off and on; virtual results
+// must be identical. With -timeline it also writes the merged chaos
+// trace.
+func timelineExp(pageKB int) error {
+	fmt.Printf("Timeline overhead: remote word level, %d KB page, recorders off vs on\n\n", pageKB)
+	cfg := experiments.Table1Config{PageSize: pageKB * 1024, Images: 4, Workers: benchWorkers}
+	off, on, err := experiments.TimelineOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "Location\tsimulation time\tvirtual load\tlink drives\ttimeline events")
+	for _, r := range []experiments.Table1Row{off, on} {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\t%d\n", r.Location, r.Wall, r.Virt, r.Drives, r.TimelineEvents)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if off.Wall > 0 {
+		fmt.Printf("\nwall ratio on/off: %.3fx; virtual results bit-identical\n", float64(on.Wall)/float64(off.Wall))
+	}
+	if timelineOut != "" {
+		return writeChaosTimeline(experiments.ChaosConfig{
+			Table1Config: experiments.Table1Config{PageSize: pageKB * 1024, Images: 4},
+			Seed:         chaosSeed,
+		})
+	}
 	return nil
 }
 

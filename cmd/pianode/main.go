@@ -20,6 +20,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/resilience"
+	"repro/internal/timeline"
 	"repro/internal/vtime"
 	"repro/internal/wubbleu"
 )
@@ -72,7 +74,37 @@ func main() {
 	// and/or as periodic run-report lines.
 	metricsAddr := flag.String("metrics", "", "serve /metrics (JSON + Prometheus text) and /healthz on this address (empty = off)")
 	report := flag.Duration("report", 0, "print a structured run-report line at this interval (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ on the -metrics address")
+	timelinePath := flag.String("timeline", "", "record a structured timeline and write it (per-node native JSON) to this file at shutdown")
+	timelineMerge := flag.String("timeline-merge", "", "merge per-node timeline files (remaining args) into a Perfetto trace at this path, then exit")
 	flag.Parse()
+
+	// Merge mode: stitch per-node timeline files from a distributed
+	// run into one Perfetto trace and exit without serving anything.
+	//
+	//	pianode -timeline-merge trace.json node-a.json node-b.json
+	if *timelineMerge != "" {
+		if flag.NArg() == 0 {
+			log.Fatal("pianode: -timeline-merge needs at least one per-node timeline file argument")
+		}
+		out, err := os.Create(*timelineMerge)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := timeline.MergeFiles(out, flag.Args()...); err != nil {
+			out.Close()
+			log.Fatalf("pianode: -timeline-merge: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pianode: merged %d timeline file(s) into %s (open at ui.perfetto.dev)\n",
+			flag.NArg(), *timelineMerge)
+		return
+	}
+	if *pprofOn && *metricsAddr == "" {
+		log.Fatal("pianode: -pprof needs -metrics to provide the HTTP listener")
+	}
 
 	cfg := wubbleu.DefaultConfig()
 	cfg.PageSize = *pageKB * 1024
@@ -147,6 +179,12 @@ func main() {
 		reg = metrics.NewRegistry()
 		n.EnableMetrics(reg)
 	}
+	// The timeline recorder, like the registry, exists only when asked
+	// for; otherwise every hook stays nil and the hot path is
+	// allocation-free.
+	if *timelinePath != "" {
+		n.EnableTimeline(timeline.NewRecorder(0))
+	}
 
 	addr, err := n.Listen(*listen)
 	if err != nil {
@@ -156,11 +194,14 @@ func main() {
 		sub.Name(), cfg.Level, *pageKB, addr)
 
 	if *metricsAddr != "" {
-		maddr, err := serveMetrics(*metricsAddr, reg, n, *resilient)
+		maddr, err := serveMetrics(*metricsAddr, reg, n, *resilient, *pprofOn)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("pianode: metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
+		if *pprofOn {
+			fmt.Printf("pianode: profiles on http://%s/debug/pprof/\n", maddr)
+		}
 	}
 	if *report > 0 {
 		t := time.NewTicker(*report)
@@ -193,15 +234,34 @@ func main() {
 		sub.Stop()
 		<-done
 	}
+	if *timelinePath != "" {
+		if err := n.WriteTimeline(*timelinePath); err != nil {
+			log.Printf("pianode: -timeline: %v", err)
+		} else {
+			fmt.Printf("pianode: timeline written to %s (merge with -timeline-merge)\n", *timelinePath)
+		}
+	}
 	n.Close()
 }
 
 // serveMetrics starts the observability HTTP listener: /metrics in
 // Prometheus text by default (JSON via ?format=json or an Accept
 // header asking for application/json), /healthz reporting session
-// liveness. Returns the bound address.
-func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient bool) (string, error) {
+// liveness, and — when enabled — the net/http/pprof profile surface
+// under /debug/pprof/. Returns the bound address.
+func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, pprofOn bool) (string, error) {
 	mux := http.NewServeMux()
+	if pprofOn {
+		// The handlers register themselves on http.DefaultServeMux at
+		// import time; this mux is a private one, so wire them in
+		// explicitly. Index serves every named profile (heap,
+		// goroutine, allocs, ...) under the prefix.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" ||
 			strings.Contains(r.Header.Get("Accept"), "application/json") {

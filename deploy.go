@@ -2,6 +2,7 @@ package pia
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/channel"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/detail"
 	"repro/internal/node"
 	"repro/internal/snapshot"
+	"repro/internal/timeline"
 )
 
 // Node re-exports the Pia node type for distributed deployments.
@@ -24,7 +26,8 @@ type Cluster struct {
 	Simulation
 	Nodes map[string]*Node // subsystem -> hosting node
 
-	nodeSet []*Node
+	nodeSet   []*Node
+	timelines map[string]*TimelineRecorder // node name -> recorder
 }
 
 // BuildOnNodes realizes the description across the given nodes:
@@ -166,6 +169,52 @@ func (cl *Cluster) EnableMetrics(reg *MetricsRegistry) *MetricsRegistry {
 		n.EnableMetrics(reg)
 	}
 	return reg
+}
+
+// EnableTimeline gives every node of the cluster its own timeline
+// recorder (stamped with the node name so merged exports attribute
+// events unambiguously) retaining at most limit events each (<= 0
+// selects the default ring size). Each node's hosted subsystems,
+// channel hubs, fault links, and resilient sessions feed its
+// recorder; detail engines feed the recorder of their hosting node.
+// Call between BuildOnNodes and Run. Idempotent.
+func (cl *Cluster) EnableTimeline(limit int) map[string]*TimelineRecorder {
+	if cl.timelines != nil {
+		return cl.timelines
+	}
+	cl.timelines = make(map[string]*TimelineRecorder, len(cl.nodeSet))
+	for _, n := range cl.nodeSet {
+		rec := NewTimelineRecorder(limit)
+		n.EnableTimeline(rec)
+		cl.timelines[n.Name()] = rec
+	}
+	for _, name := range cl.subOrder {
+		if e := cl.Engines[name]; e != nil {
+			e.EnableTimeline(cl.timelines[cl.Nodes[name].Name()])
+		}
+	}
+	return cl.timelines
+}
+
+// Timelines returns the per-node recorders wired by EnableTimeline,
+// keyed by node name, or nil when the timeline is disabled.
+func (cl *Cluster) Timelines() map[string]*TimelineRecorder { return cl.timelines }
+
+// WriteTimeline merges every node's timeline and writes the canonical
+// committed view as Perfetto/Chrome trace JSON: virtual time is the
+// primary clock, cross-node sends and deliveries are stitched into
+// flow arrows, and only reproducible event kinds are included, so the
+// bytes are identical across same-seed reruns.
+func (cl *Cluster) WriteTimeline(w io.Writer) error {
+	if cl.timelines == nil {
+		return errTimelineDisabled
+	}
+	batches := make([][]TimelineEvent, 0, len(cl.nodeSet))
+	for _, n := range cl.nodeSet {
+		batches = append(batches, cl.timelines[n.Name()].Events())
+	}
+	merged := timeline.Canonical(timeline.MergeEvents(batches...))
+	return timeline.WritePerfetto(w, merged, timeline.ExportOptions{})
 }
 
 // Run executes the cluster's subsystems, iterating rounds until

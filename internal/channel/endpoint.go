@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/timeline"
 	"repro/internal/vtime"
 )
 
@@ -87,6 +88,11 @@ type Hub struct {
 
 	closed    bool
 	metricsOn bool // EnableMetrics already wired a collector
+
+	// tl, when non-nil, receives protocol timeline events from every
+	// endpoint (see EnableTimeline). Nil costs one pointer check per
+	// protocol action; the data hot path stays untouched.
+	tl *timeline.Recorder
 }
 
 // NewHub creates the hub and installs its publish hook.
@@ -128,6 +134,30 @@ func (h *Hub) flushAll() {
 	for _, ep := range eps {
 		ep.Flush()
 	}
+}
+
+// EnableTimeline attaches the timeline recorder to the hub: every
+// endpoint (existing and future) records its committed data
+// send/delivery pairs plus the transient ask/grant/straggler protocol
+// chatter. Disabled (the default) the endpoints pay a nil check per
+// protocol action and nothing on the byte path.
+func (h *Hub) EnableTimeline(rec *timeline.Recorder) {
+	if rec == nil {
+		return
+	}
+	h.mu.Lock()
+	h.tl = rec
+	eps := append([]*Endpoint(nil), h.eps...)
+	h.mu.Unlock()
+	for _, ep := range eps {
+		ep.setTimeline(rec)
+	}
+}
+
+func (ep *Endpoint) setTimeline(rec *timeline.Recorder) {
+	ep.mu.Lock()
+	ep.tl = rec
+	ep.mu.Unlock()
 }
 
 // SetCoalescing applies cfg to every endpoint of the hub.
@@ -187,7 +217,9 @@ func (ep *Endpoint) departGrant(g vtime.Time) {
 	}
 	ep.stats.GrantsOut++
 	flush := ep.queueLocked(ep.nextOut(Message{Kind: KindSafeTimeGrant, Grant: g}), true)
+	tl := ep.tl
 	ep.mu.Unlock()
+	tl.Grant(ep.local, ep.peer, g)
 	if flush {
 		ep.Flush()
 	}
@@ -235,6 +267,7 @@ func (h *Hub) NewEndpoint(peer string, policy Policy, link LinkModel, tr Transpo
 		tr:     tr,
 	}
 	h.mu.Lock()
+	ep.tl = h.tl
 	h.eps = append(h.eps, ep)
 	h.mu.Unlock()
 	h.sub.AddExternal()
@@ -396,6 +429,7 @@ type Endpoint struct {
 	markFn         func(tag string)
 	restoreFn      func(tag string)
 	stragglerFn    func(t vtime.Time) bool
+	tl             *timeline.Recorder // nil unless EnableTimeline wired it
 
 	// Egress coalescing. Messages are appended to pendingOut under
 	// ep.mu in nextOut order, so the queue is the seq order; flush
@@ -575,7 +609,9 @@ func (ep *Endpoint) Request(t vtime.Time) {
 	ep.stats.AsksOut++
 	flush := ep.queueLocked(ep.nextOut(Message{Kind: KindSafeTimeReq, Ask: t}), true)
 	ep.lastAskSeqOut = ep.seqOut
+	tl := ep.tl
 	ep.mu.Unlock()
+	tl.Ask(ep.local, ep.peer, t)
 	if flush {
 		ep.Flush()
 	}
@@ -615,7 +651,12 @@ func (ep *Endpoint) egress(remoteNet string, m core.Msg) {
 	})
 	ep.unacked = append(ep.unacked, egressRec{seq: out.Seq, arrival: arrive})
 	flush := ep.queueLocked(out, false)
+	tl := ep.tl
 	ep.mu.Unlock()
+	// Recorded at the drive's send time; the peer records the matching
+	// delivery at the arrival time, and the exporter pairs the two by
+	// committed index into one flow.
+	tl.Send(ep.local, ep.peer, remoteNet, m.Sent)
 	if flush {
 		ep.Flush()
 	}
@@ -796,7 +837,9 @@ func (ep *Endpoint) pushGrant(floor vtime.Time) {
 		dbg("%s PUSH grant=%v floor=%v pending=%v myAck=%d", ep.Name(), g, floor, pending, ep.seqInNext)
 	}
 	flush := ep.queueLocked(ep.nextOut(Message{Kind: KindSafeTimeGrant, Grant: g}), true)
+	tl := ep.tl
 	ep.mu.Unlock()
+	tl.Grant(ep.local, ep.peer, g)
 	if flush {
 		ep.Flush()
 	}
@@ -940,7 +983,9 @@ func (ep *Endpoint) process(m Message) bool {
 				if ep.recording {
 					ep.recorded = ep.recorded[:len(ep.recorded)-1]
 				}
+				tl := ep.tl
 				ep.mu.Unlock()
+				tl.Straggler(ep.peer, ep.local, m.Net, m.Time, ep.sub.Now())
 				redeliver := true
 				if fn != nil {
 					redeliver = fn(m.Time)
@@ -961,7 +1006,9 @@ func (ep *Endpoint) process(m Message) bool {
 		}
 		ep.stats.DataIn++
 		ep.stats.BytesIn += int64(payloadSize(m.Value))
+		tl := ep.tl
 		ep.mu.Unlock()
+		tl.Deliver(ep.peer, ep.local, m.Net, m.Time)
 		_ = ep.sub.DriveNow(m.Net, m.Source, m.Time, m.Value)
 	case KindSafeTimeReq:
 		ep.stats.AsksIn++

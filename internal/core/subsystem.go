@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/event"
+	"repro/internal/timeline"
 	"repro/internal/vtime"
 )
 
@@ -134,6 +135,7 @@ type Subsystem struct {
 	OnDrive      func(net, src string, t vtime.Time, v any) // called for every net drive (waveform tracing)
 	OnDepart     func(until vtime.Time)                     // called right before Run returns at a finite horizon
 	OnStall      func()                                     // called right before the scheduler blocks waiting for input
+	OnResume     func()                                     // called right after a stall ends
 
 	running bool
 	fatal   error
@@ -144,6 +146,12 @@ type Subsystem struct {
 	// metrics.go). Nil means metrics are disabled and the scheduler
 	// loop pays one nil check per round, nothing more.
 	mSched *schedMetrics
+
+	// tlRec, when non-nil, is the timeline recorder wired in by
+	// EnableTimeline (see timeline.go). All timeline emission rides
+	// the nil-guarded hook chain above, so the disabled path costs
+	// nothing beyond the existing hook nil checks.
+	tlRec *timeline.Recorder
 }
 
 // Stats accumulates scheduler counters for benchmarks and reports.
@@ -1022,6 +1030,9 @@ func (s *Subsystem) stall() {
 		s.OnStall()
 	}
 	s.waitForWake()
+	if s.OnResume != nil {
+		s.OnResume()
+	}
 }
 
 // waitForWake blocks until something changes: an injection, a gate

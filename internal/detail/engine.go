@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/timeline"
 	"repro/internal/vtime"
 )
 
@@ -157,6 +158,26 @@ func (e *Engine) AddRule(src string) (*Switchpoint, error) {
 	}
 	e.Add(sp)
 	return sp, nil
+}
+
+// EnableTimeline records every applied switchpoint action as a
+// runlevel event, chained through OnSwitch. The firing is stamped
+// with the subsystem's current virtual time; the component itself
+// adopts the level at its next safe point (core's OnRunlevel chain,
+// wired by Subsystem.EnableTimeline, records that consultation
+// separately).
+func (e *Engine) EnableTimeline(rec *timeline.Recorder) {
+	if rec == nil {
+		return
+	}
+	sub := e.sub.Name()
+	prev := e.OnSwitch
+	e.OnSwitch = func(sp *Switchpoint, a Action) {
+		if prev != nil {
+			prev(sp, a)
+		}
+		rec.Runlevel(sub, a.Component, a.Level, e.sub.Now())
+	}
 }
 
 // LoadScript parses a run control file and registers every rule.

@@ -39,6 +39,11 @@ type Table1Row struct {
 	// with Table1Config.CollectMetrics; nil otherwise (the
 	// zero-overhead default).
 	Metrics []pia.MetricSample
+
+	// TimelineEvents is the total number of timeline events the leg
+	// recorded (all nodes summed). Populated only with
+	// Table1Config.Timeline.
+	TimelineEvents uint64
 }
 
 // Table1Config scales the experiment (the paper used the full 66 KB
@@ -66,6 +71,12 @@ type Table1Config struct {
 	// piabench's -report ticker reads progress from while a leg is
 	// still running.
 	OnMetrics func(*pia.MetricsRegistry)
+
+	// Timeline wires each simulated leg into timeline recorders (one
+	// per node on remote legs) and reports the recorded-event count on
+	// the returned row. Off by default so benchmarks measure the
+	// disabled path.
+	Timeline bool
 }
 
 // DefaultTable1Config reproduces the paper's setup.
@@ -137,6 +148,10 @@ func Local(c Table1Config, level string) (Table1Row, error) {
 			c.OnMetrics(reg)
 		}
 	}
+	var rec *pia.TimelineRecorder
+	if c.Timeline {
+		rec = sim.EnableTimeline(nil)
+	}
 	start := time.Now()
 	if err := sim.Run(pia.Infinity); err != nil {
 		return Table1Row{}, err
@@ -149,7 +164,8 @@ func Local(c Table1Config, level string) (Table1Row, error) {
 	return Table1Row{
 		Location: "local", Level: levelName(level),
 		Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives,
-		Metrics: reg.Snapshot(),
+		Metrics:        reg.Snapshot(),
+		TimelineEvents: rec.Stats().Recorded,
 	}, nil
 }
 
@@ -186,6 +202,9 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 			c.OnMetrics(reg)
 		}
 	}
+	if c.Timeline {
+		cl.EnableTimeline(0)
+	}
 	start := time.Now()
 	if err := cl.Run(horizon(cfg)); err != nil {
 		return Table1Row{}, err
@@ -199,6 +218,9 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 		Location: "remote", Level: levelName(level),
 		Wall: wall, Virt: res.LoadVirt[0], Drives: res.DMADrives,
 		Metrics: reg.Snapshot(),
+	}
+	for _, rec := range cl.Timelines() {
+		row.TimelineEvents += rec.Stats().Recorded
 	}
 	for _, n := range []*pia.Node{n1, n2} {
 		ws := n.WireStats()

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+// TestTimelineChaosDeterminism mirrors TestChaosDeterminism for the
+// timeline layer: the faulted, resilient two-node run produces a
+// merged canonical export that is byte-identical across reruns with
+// the same seed, contains cross-node flow arrows, and contains the
+// scripted checkpoint-restore rewind marker.
+func TestTimelineChaosDeterminism(t *testing.T) {
+	cfg := ChaosConfig{Table1Config: smallTable1(), Seed: 7}
+	first, err := ChaosTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ChaosTimeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Evicted != 0 || second.Evicted != 0 {
+		t.Fatalf("ring evicted events (%d, %d); determinism is only promised without eviction",
+			first.Evicted, second.Evicted)
+	}
+	if first.Canonical == 0 {
+		t.Fatal("merged canonical timeline is empty")
+	}
+	if first.Flows == 0 {
+		t.Fatal("no committed cross-node sends: merged timeline would have no flow arrows")
+	}
+	if first.Delivers != first.Flows {
+		t.Fatalf("%d sends but %d deliveries in the merge: some flow arrows are incomplete",
+			first.Flows, first.Delivers)
+	}
+	if first.Rewinds == 0 {
+		t.Fatal("scripted rewind left no rewind marker in the canonical view")
+	}
+	if !bytes.Equal(first.Trace, second.Trace) {
+		t.Fatalf("merged canonical export diverged across same-seed runs (%d vs %d bytes)",
+			len(first.Trace), len(second.Trace))
+	}
+	// The Perfetto file must actually carry the flow arrows and the
+	// rewind span so the viewer shows them — every flow start (ph s)
+	// paired with a flow finish (ph f).
+	starts := bytes.Count(first.Trace, []byte(`"ph":"s"`))
+	finishes := bytes.Count(first.Trace, []byte(`"ph":"f"`))
+	if starts != first.Flows || finishes != first.Flows {
+		t.Fatalf("export has %d flow starts and %d finishes, want %d of each",
+			starts, finishes, first.Flows)
+	}
+	if !bytes.Contains(first.Trace, []byte(`"name":"rewind"`)) {
+		t.Fatal("merged export lacks the rewind span")
+	}
+}
+
+// TestTimelineChaosRewindDropsSpans asserts the rewind semantics at
+// the export level: after the scripted restore, no committed handheld
+// event sits past the restore point — the rolled-back spans are gone,
+// replaced by the single rewind marker spanning the discarded window.
+func TestTimelineChaosRewindDropsSpans(t *testing.T) {
+	res, err := ChaosTimeline(ChaosConfig{Table1Config: smallTable1(), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rewind *timeline.Event
+	for i := range res.Events {
+		if res.Events[i].Kind == timeline.KindRewind && res.Events[i].Sub == "handheld" {
+			rewind = &res.Events[i]
+			break
+		}
+	}
+	if rewind == nil {
+		t.Fatal("no handheld rewind marker in the canonical view")
+	}
+	if rewind.VT2 <= rewind.VT {
+		t.Fatalf("rewind window [%v, %v] is empty", rewind.VT, rewind.VT2)
+	}
+	cutoff := rewind.VT
+	dropped := false
+	for _, e := range res.Events {
+		if e.Sub != "handheld" {
+			continue
+		}
+		if e.VT > cutoff {
+			t.Fatalf("rolled-back span survived the rewind: %s %q @%v (cutoff %v)",
+				e.Kind, e.Net+e.Detail, e.VT, cutoff)
+		}
+		if e.Kind == timeline.KindDrive {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("no committed handheld drives at all; the scenario recorded nothing to roll back against")
+	}
+}

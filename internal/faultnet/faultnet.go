@@ -31,6 +31,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/timeline"
 )
 
 // maxFrame bounds the frames the segmenter will buffer; anything
@@ -213,6 +215,20 @@ type Link struct {
 
 	// Tracer, when set, receives one line per injected fault.
 	Tracer func(string)
+
+	// tl, when set via SetTimeline, receives one structured timeline
+	// event per injected fault. Fault events are transient: frame
+	// indices depend on wall-clock batching, so they never enter the
+	// canonical merged export.
+	tl *timeline.Recorder
+}
+
+// SetTimeline attaches a timeline recorder; each injected fault is
+// recorded as a structured event alongside the Tracer line.
+func (l *Link) SetTimeline(rec *timeline.Recorder) {
+	l.mu.Lock()
+	l.tl = rec
+	l.mu.Unlock()
 }
 
 // NewLink creates the fault state for one named link. The name goes
@@ -436,12 +452,14 @@ func (c *Conn) processFrame(frame []byte) error {
 	}
 	idx := l.dec.frames
 	act, mask, jfrac := l.dec.next()
+	tl := l.tl
 	if act&actCut != 0 {
 		heal := l.cfg.Partitions[l.dec.partIdx-1].Heal
 		l.cutUntil = l.now().Add(heal)
 		l.stats.Cuts++
 		l.mu.Unlock()
 		l.trace("faultnet %s: frame %d: cut link for %v", l.name, idx, heal)
+		tl.Fault(l.name, "cut", int64(idx))
 		// A frame held across the cut is lost with the epoch.
 		c.Close()
 		return ErrLinkCut
@@ -450,6 +468,7 @@ func (c *Conn) processFrame(frame []byte) error {
 		l.stats.Dropped++
 		l.mu.Unlock()
 		l.trace("faultnet %s: frame %d: dropped (%d bytes)", l.name, idx, len(frame))
+		tl.Fault(l.name, "drop", int64(idx))
 		return nil
 	}
 	if act&actCorrupt != 0 && len(frame) > 4 {
@@ -459,6 +478,7 @@ func (c *Conn) processFrame(frame []byte) error {
 		frame[off] ^= mask
 		l.stats.Corrupted++
 		l.trace("faultnet %s: frame %d: corrupted byte %d", l.name, idx, off)
+		tl.Fault(l.name, "corrupt", int64(idx))
 	}
 	var emit [][]byte
 	if act&actReorder != 0 {
@@ -472,6 +492,7 @@ func (c *Conn) processFrame(frame []byte) error {
 			l.stats.Reordered++
 			l.mu.Unlock()
 			l.trace("faultnet %s: frame %d: held for reorder", l.name, idx)
+			tl.Fault(l.name, "reorder", int64(idx))
 			return nil
 		}
 		c.hmu.Unlock()
@@ -481,6 +502,7 @@ func (c *Conn) processFrame(frame []byte) error {
 		l.stats.Duplicated++
 		emit = append(emit, frame)
 		l.trace("faultnet %s: frame %d: duplicated", l.name, idx)
+		tl.Fault(l.name, "dup", int64(idx))
 	}
 	if held := c.takeHeld(); held != nil {
 		emit = append(emit, held)

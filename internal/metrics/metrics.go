@@ -291,6 +291,26 @@ func (r *Registry) Snapshot() []Sample {
 	return dedup
 }
 
+// KV is one (metric name, value) pair for EmitCounters.
+type KV struct {
+	Name  string
+	Value int64
+}
+
+// EmitCounters emits one counter sample per pair, each labelled with
+// the same alternating key/value labels — the common shape of a pull
+// collector walking a Stats struct. Shared by the node wire/timeline
+// collectors so new observability surfaces don't re-roll the loop.
+func EmitCounters(emit func(Sample), labels []string, pairs ...KV) {
+	for _, p := range pairs {
+		emit(Sample{
+			Name:  Label(p.Name, labels...),
+			Kind:  KindCounter,
+			Value: p.Value,
+		})
+	}
+}
+
 // Label renders a base name plus alternating key/value label pairs
 // into the canonical `name{k="v",...}` form used throughout Pia.
 // Called once at registration time so hot paths never build strings.

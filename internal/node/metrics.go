@@ -97,6 +97,11 @@ func (n *Node) EnableMetrics(reg *metrics.Registry) {
 			Value: int64(alive),
 		})
 	})
+
+	// Timeline recorder health, if a recorder is already wired (the
+	// reverse order — timeline enabled after metrics — registers from
+	// EnableTimeline instead).
+	n.maybeExportTimelineMetrics()
 }
 
 // MetricsRegistry returns the registry passed to EnableMetrics, or

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/resilience"
 	"repro/internal/snapshot"
+	"repro/internal/timeline"
 	"repro/internal/vtime"
 	"repro/internal/wire"
 )
@@ -111,6 +112,13 @@ type Node struct {
 	// subsystem and connection surface reports into (see metrics.go).
 	metricsReg *metrics.Registry
 
+	// tlRec, when non-nil, is the timeline recorder every hosted
+	// subsystem, hub, fault link, and session records into (see
+	// timeline.go); tlMetricsOn remembers that its health counters
+	// are already exported through metricsReg.
+	tlRec       *timeline.Recorder
+	tlMetricsOn bool
+
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
 }
@@ -138,6 +146,10 @@ func (n *Node) Host(sub *core.Subsystem) *Hosted {
 	if n.metricsReg != nil {
 		h.Sub.EnableMetrics(n.metricsReg)
 		h.Hub.EnableMetrics(n.metricsReg)
+	}
+	if n.tlRec != nil {
+		h.Sub.EnableTimeline(n.tlRec)
+		h.Hub.EnableTimeline(n.tlRec)
 	}
 	return h
 }
@@ -229,6 +241,7 @@ func (n *Node) faultLink(name string) *faultnet.Link {
 	l := faultnet.NewLink(name, cfg)
 	l.Tracer = n.Tracer
 	n.mu.Lock()
+	l.SetTimeline(n.tlRec)
 	n.flinks = append(n.flinks, l)
 	n.mu.Unlock()
 	return l
@@ -242,6 +255,9 @@ func (n *Node) resilient() (resilience.Config, bool) {
 
 func (n *Node) addSession(s *resilience.Session) {
 	n.mu.Lock()
+	if n.tlRec != nil {
+		s.SetTimeline(n.tlRec)
+	}
 	n.sessions = append(n.sessions, s)
 	n.mu.Unlock()
 }

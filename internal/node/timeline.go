@@ -1,0 +1,101 @@
+package node
+
+import (
+	"os"
+
+	"repro/internal/faultnet"
+	"repro/internal/metrics"
+	"repro/internal/resilience"
+	"repro/internal/timeline"
+)
+
+// EnableTimeline attaches a timeline recorder to everything this node
+// owns: every hosted subsystem (scheduler lifecycle events) and its
+// hub (channel protocol events), every faultnet link, and every
+// resilient session — existing ones immediately, future ones as they
+// are created. The recorder is stamped with the node's name so
+// per-node timeline files merge unambiguously.
+//
+// Idempotent per node; with the timeline never enabled every hook
+// stays nil and the hot paths are untouched. When a metrics registry
+// is (or later becomes) wired, recorder health counters are exported
+// through it.
+func (n *Node) EnableTimeline(rec *timeline.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.SetNode(n.name)
+	n.mu.Lock()
+	if n.tlRec != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.tlRec = rec
+	hosted := make([]*Hosted, 0, len(n.hosted))
+	for _, h := range n.hosted {
+		hosted = append(hosted, h)
+	}
+	flinks := append([]*faultnet.Link(nil), n.flinks...)
+	sessions := append([]*resilience.Session(nil), n.sessions...)
+	n.mu.Unlock()
+
+	for _, h := range hosted {
+		h.Sub.EnableTimeline(rec)
+		h.Hub.EnableTimeline(rec)
+	}
+	for _, l := range flinks {
+		l.SetTimeline(rec)
+	}
+	for _, s := range sessions {
+		s.SetTimeline(rec)
+	}
+	n.maybeExportTimelineMetrics()
+}
+
+// Timeline returns the recorder wired by EnableTimeline, or nil.
+func (n *Node) Timeline() *timeline.Recorder {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tlRec
+}
+
+// WriteTimeline writes the node's timeline as a per-node native JSON
+// file at path, ready for cross-node merging (timeline.MergeFiles or
+// `pianode -timeline-merge`).
+func (n *Node) WriteTimeline(path string) error {
+	rec := n.Timeline()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteNative(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// maybeExportTimelineMetrics registers a pull collector over the
+// recorder's counters once both the registry and the recorder exist.
+// Called from both EnableTimeline and EnableMetrics, whichever comes
+// second.
+func (n *Node) maybeExportTimelineMetrics() {
+	n.mu.Lock()
+	reg, rec := n.metricsReg, n.tlRec
+	if reg == nil || rec == nil || n.tlMetricsOn {
+		n.mu.Unlock()
+		return
+	}
+	n.tlMetricsOn = true
+	name := n.name
+	n.mu.Unlock()
+	reg.AddCollector(func(emit func(metrics.Sample)) {
+		st := rec.Stats()
+		metrics.EmitCounters(emit, []string{"node", name},
+			metrics.KV{Name: "pia_timeline_recorded", Value: int64(st.Recorded)},
+			metrics.KV{Name: "pia_timeline_evicted", Value: int64(st.Evicted)},
+			metrics.KV{Name: "pia_timeline_rewind_dropped", Value: int64(st.RewindDropped)},
+			metrics.KV{Name: "pia_timeline_buffered", Value: int64(st.Buffered)},
+		)
+	})
+}

@@ -32,6 +32,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/timeline"
 )
 
 // ErrSessionLost is wrapped by every terminal session failure: retry
@@ -181,6 +183,26 @@ type Session struct {
 
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
+
+	// tl, when set via SetTimeline, receives structured session
+	// lifecycle events (epoch deaths, resumes, negotiated rewinds).
+	// They are transient timeline kinds: epoch boundaries are
+	// wall-clock phenomena and never enter the canonical export.
+	tl *timeline.Recorder
+}
+
+// SetTimeline attaches a timeline recorder to the session.
+func (s *Session) SetTimeline(rec *timeline.Recorder) {
+	s.mu.Lock()
+	s.tl = rec
+	s.mu.Unlock()
+}
+
+func (s *Session) timelineEvent(what, detail string) {
+	s.mu.Lock()
+	tl, id := s.tl, s.id
+	s.mu.Unlock()
+	tl.SessionEvent(fmt.Sprintf("session-%d", id), what, detail)
 }
 
 func newSession(cfg Config, dial func() (io.ReadWriteCloser, error)) *Session {
@@ -429,6 +451,7 @@ func (s *Session) epochDead(conn io.ReadWriteCloser, cause error) {
 		s.mu.Unlock()
 		conn.Close()
 		s.trace("resilience session %d: epoch died: %v", id, cause)
+		s.timelineEvent("epoch-death", fmt.Sprint(cause))
 		return
 	}
 	s.mu.Unlock()
@@ -468,7 +491,9 @@ func (s *Session) attach(conn io.ReadWriteCloser, peerRecvNext uint64) {
 	s.ackStall = time.Now()
 	s.stats.Resumes++
 	s.stats.ReplayedFrames += int64(len(replay))
+	tl, id := s.tl, s.id
 	s.mu.Unlock()
+	tl.SessionEvent(fmt.Sprintf("session-%d", id), "resume", fmt.Sprintf("replay=%d", len(replay)))
 	go s.readLoop(conn)
 	for _, f := range replay {
 		if _, err := conn.Write(f.env); err != nil {
@@ -498,6 +523,7 @@ func (s *Session) resetForRewind(tag string) {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.trace("resilience session %d: rewinding to checkpoint %q", s.ID(), tag)
+	s.timelineEvent("rewind", tag)
 }
 
 // readLoop consumes envelopes from one connection epoch until it

@@ -1,0 +1,58 @@
+package timeline
+
+import (
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// TestDisabledTimelineZeroAlloc is the CI guard for the disabled
+// path: every emission site in the scheduler, channel endpoint,
+// faultnet link and resilience session holds a plain (possibly nil)
+// *Recorder and calls it unconditionally, relying on the nil-receiver
+// guard instead of its own branch. That guard must cost zero
+// allocations, or disabling the timeline would still tax the drive
+// fanout hot path (see TestDriveFanoutZeroAlloc in internal/event for
+// the scheduler-side twin).
+func TestDisabledTimelineZeroAlloc(t *testing.T) {
+	var rec *Recorder // timeline disabled
+	tick := vtime.Time(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.Drive("sub", "comp", "net", tick, 7)
+		rec.Send("a", "b", "net", tick)
+		rec.Deliver("a", "b", "net", tick)
+		rec.Checkpoint("sub", "tag", tick)
+		rec.Restore("sub", "tag", tick)
+		rec.Runlevel("sub", "comp", "wordLevel", tick)
+		rec.Stall("sub", tick, tick+1)
+		rec.Resume("sub", tick)
+		rec.Ask("a", "b", tick)
+		rec.Grant("a", "b", tick)
+		rec.Straggler("a", "b", "net", tick, tick)
+		rec.Fault("link", "drop", 1)
+		rec.SessionEvent("session-1", "resume", "")
+		tick++
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled timeline emitters allocate %.1f times/op, want 0", allocs)
+	}
+}
+
+// BenchmarkRecord measures the enabled-path cost of the hottest
+// emitter (Drive) against the nil-receiver disabled path.
+func BenchmarkRecord(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var rec *Recorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Drive("sub", "comp", "net", vtime.Time(i), 7)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		rec := NewRecorder(1 << 12)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.Drive("sub", "comp", "net", vtime.Time(i), 7)
+		}
+	})
+}

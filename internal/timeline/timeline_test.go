@@ -1,0 +1,283 @@
+package timeline
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Drive("s", "c", "n", 1, 7)
+	r.Send("a", "b", "n", 1)
+	r.Deliver("a", "b", "n", 1)
+	r.Checkpoint("s", "", 1)
+	r.Restore("s", "", 0)
+	r.Runlevel("s", "c", "word", 1)
+	r.Stall("s", 1, 2)
+	r.Resume("s", 2)
+	r.Ask("a", "b", 1)
+	r.Grant("a", "b", 1)
+	r.Straggler("a", "b", "n", 1, 2)
+	r.Fault("l", "drop", 3)
+	r.SessionEvent("sess", "resume", "")
+	r.SetNode("x")
+	if r.Len() != 0 || r.Events() != nil || r.NodeName() != "" {
+		t.Fatal("nil recorder must be inert")
+	}
+	if (r.Stats() != Stats{}) {
+		t.Fatal("nil recorder stats must be zero")
+	}
+}
+
+func TestRingRetention(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Drive("s", "c", "n", vtime.Time(i), i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.VT != vtime.Time(6+i) {
+			t.Fatalf("event %d at vt %d, want %d (oldest must be evicted)", i, e.VT, 6+i)
+		}
+	}
+	st := r.Stats()
+	if st.Recorded != 10 || st.Evicted != 6 || st.Buffered != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Per-stream sequence numbers must be stable across eviction.
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("seqs = %d..%d, want 7..10", evs[0].Seq, evs[3].Seq)
+	}
+}
+
+func TestRestoreDropsRolledBackSpans(t *testing.T) {
+	r := NewRecorder(0)
+	r.Drive("a", "c", "n", 10, 1)
+	r.Drive("a", "c", "n", 20, 2)
+	r.Drive("b", "c", "n", 25, 9) // other sub: must survive a's rewind
+	r.Drive("a", "c", "n", 30, 3)
+	r.Checkpoint("a", "snap", 15)
+	r.Restore("a", "snap", 15)
+
+	evs := r.Events()
+	var kinds []Kind
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	// Surviving record order: a@10, b@25 (other sub), checkpoint a@15
+	// (at the cut, not past it), then the rewind marker and restore.
+	want := []Kind{KindDrive, KindDrive, KindCheckpoint, KindRewind, KindRestore}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if evs[0].Sub != "a" || evs[0].VT != 10 {
+		t.Fatalf("surviving a-drive = %+v", evs[0])
+	}
+	if evs[1].Sub != "b" || evs[1].VT != 25 {
+		t.Fatalf("b's drive must survive, got %+v", evs[1])
+	}
+	rw := evs[3]
+	if rw.VT != 15 || rw.VT2 != 30 {
+		t.Fatalf("rewind window [%d,%d], want [15,30]", rw.VT, rw.VT2)
+	}
+	if st := r.Stats(); st.RewindDropped != 2 {
+		// The a-drives at 20 and 30 roll back; nothing else does.
+		t.Fatalf("RewindDropped = %d, want 2 (stats %+v)", st.RewindDropped, st)
+	}
+}
+
+func TestRestoreWithNoFutureEmitsNoRewind(t *testing.T) {
+	r := NewRecorder(0)
+	r.Drive("a", "c", "n", 10, 1)
+	r.Restore("a", "t", 10)
+	for _, e := range r.Events() {
+		if e.Kind == KindRewind {
+			t.Fatal("no discarded future, but rewind marker emitted")
+		}
+	}
+}
+
+// TestCanonicalOrderIndependence records the same logical history with
+// two different wall-clock interleavings of the per-stream event
+// sources (as scheduler and transport-pump goroutines would produce)
+// and asserts the canonical export bytes are identical.
+func TestCanonicalOrderIndependence(t *testing.T) {
+	mk := func(interleaved bool) []byte {
+		r := NewRecorder(0)
+		r.SetNode("n1")
+		sched := func() {
+			r.Drive("a", "cpu", "bus", 10, 1)
+			r.Checkpoint("a", "", 20)
+			r.Drive("a", "cpu", "bus", 30, 2)
+		}
+		channel := func() {
+			r.Send("a", "b", "bus", 12)
+			r.Deliver("b", "a", "ack", 14)
+			r.Ask("a", "b", 40) // transient: must not affect canonical bytes
+			r.Send("a", "b", "bus", 32)
+		}
+		if interleaved {
+			// Simulate the pump goroutine landing between scheduler
+			// steps: interleave stream records differently.
+			r.Send("a", "b", "bus", 12)
+			r.Drive("a", "cpu", "bus", 10, 1)
+			r.Ask("a", "b", 40)
+			r.Deliver("b", "a", "ack", 14)
+			r.Checkpoint("a", "", 20)
+			r.Drive("a", "cpu", "bus", 30, 2)
+			r.Send("a", "b", "bus", 32)
+		} else {
+			sched()
+			channel()
+		}
+		var buf bytes.Buffer
+		if err := WritePerfetto(&buf, Canonical(r.Events()), ExportOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(false), mk(true)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical export depends on record interleaving:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte("\"ask")) {
+		t.Fatal("canonical export must exclude transient kinds")
+	}
+}
+
+func TestFlowPairing(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetNode("n1")
+	r.Send("a", "b", "bus", 10)
+	r.Send("a", "b", "bus", 20)
+	s := NewRecorder(0)
+	s.SetNode("n2")
+	s.Deliver("a", "b", "bus", 11)
+	s.Deliver("a", "b", "bus", 21)
+
+	var buf bytes.Buffer
+	merged := Canonical(MergeEvents(r.Events(), s.Events()))
+	if err := WritePerfetto(&buf, merged, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ids := regexp.MustCompile(`"id":"(0x[0-9a-f]+)"`).FindAllStringSubmatch(out, -1)
+	if len(ids) != 4 {
+		t.Fatalf("want 4 flow endpoints (2 sends + 2 delivers), got %d in:\n%s", len(ids), out)
+	}
+	count := map[string]int{}
+	for _, m := range ids {
+		count[m[1]]++
+	}
+	if len(count) != 2 {
+		t.Fatalf("want 2 distinct flow ids each used twice, got %v", count)
+	}
+	for id, n := range count {
+		if n != 2 {
+			t.Fatalf("flow id %s used %d times, want 2 (start+finish)", id, n)
+		}
+	}
+	if !strings.Contains(out, `"ph":"s"`) || !strings.Contains(out, `"ph":"f"`) {
+		t.Fatal("missing flow start/finish phases")
+	}
+}
+
+func TestNativeRoundTripAndMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, node string, fill func(r *Recorder)) string {
+		r := NewRecorder(0)
+		r.SetNode(node)
+		fill(r)
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteNative(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return p
+	}
+	p1 := write("n1.json", "n1", func(r *Recorder) {
+		r.Drive("a", "cpu", "bus", 10, 1)
+		r.Send("a", "b", "bus", 12)
+		r.Fault("wan", "drop", 3)
+	})
+	p2 := write("n2.json", "n2", func(r *Recorder) {
+		r.Deliver("a", "b", "bus", 13)
+		r.Drive("b", "dma", "bus", 14, 2)
+	})
+
+	f, err := os.Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, evs, err := ReadNative(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "n1" || len(evs) != 3 {
+		t.Fatalf("round trip: node=%q events=%d", node, len(evs))
+	}
+	if evs[0].Node != "n1" || evs[0].Kind != KindDrive || evs[0].VT != 10 || evs[0].Detail != "1" {
+		t.Fatalf("round trip event = %+v", evs[0])
+	}
+
+	var m1, m2 bytes.Buffer
+	if err := MergeFiles(&m1, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeFiles(&m2, p2, p1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Fatal("merged output depends on file order")
+	}
+	if !strings.Contains(m1.String(), `"ph":"f"`) {
+		t.Fatal("merged output missing cross-node flow finish")
+	}
+	if strings.Contains(m1.String(), "fault") {
+		t.Fatal("canonical merge must drop transient fault events")
+	}
+}
+
+func TestLogfmt(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetNode("n1")
+	r.Drive("a", "cpu", "bus", 10, 1)
+	r.Stall("a", 11, 30)
+	var buf bytes.Buffer
+	if err := WriteLogfmt(&buf, r.Events(), ExportOptions{Wall: true, Transient: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vt=10 kind=drive node=n1 sub=a comp=cpu net=bus seq=1") {
+		t.Fatalf("logfmt drive line missing, got:\n%s", out)
+	}
+	if !strings.Contains(out, "kind=stall") || !strings.Contains(out, "vt2=30") {
+		t.Fatalf("logfmt stall line missing, got:\n%s", out)
+	}
+	var canon bytes.Buffer
+	if err := WriteLogfmt(&canon, r.Events(), ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(canon.String(), "stall") || strings.Contains(canon.String(), "wall=") {
+		t.Fatalf("canonical logfmt leaked transient/wall fields:\n%s", canon.String())
+	}
+}

@@ -209,6 +209,29 @@ func (r *Recorder) WriteVCD(w io.Writer) error {
 		vars[k].kind = "wire"
 	}
 
+	// Sanitizing can collide distinct raw names ("a-b" and "a_b" both
+	// become "a_b"); two $var declarations sharing one name inside a
+	// scope — or two sibling scopes sharing one name — confuse every
+	// viewer even though the ids differ. Disambiguate with a numeric
+	// suffix, raw sort order deciding who keeps the bare name.
+	scopeNames := make(map[string]string) // raw sub -> unique scope name
+	usedScopes := make(map[string]bool)
+	netNames := make(map[key]string) // (sub, net) -> unique var name
+	usedNets := make(map[key]bool)   // (scope name, var name) seen
+	for _, k := range order {
+		if _, ok := scopeNames[k.sub]; !ok {
+			scopeNames[k.sub] = uniqueName(sanitize(k.sub), usedScopes)
+		}
+		scope := scopeNames[k.sub]
+		base := sanitize(k.net)
+		name := base
+		for n := 2; usedNets[key{scope, name}]; n++ {
+			name = fmt.Sprintf("%s_%d", base, n)
+		}
+		usedNets[key{scope, name}] = true
+		netNames[k] = name
+	}
+
 	if _, err := fmt.Fprintf(w, "$version pia co-simulator trace $end\n$timescale 1ns $end\n"); err != nil {
 		return err
 	}
@@ -218,11 +241,11 @@ func (r *Recorder) WriteVCD(w io.Writer) error {
 			if cur != "" {
 				fmt.Fprintf(w, "$upscope $end\n")
 			}
-			fmt.Fprintf(w, "$scope module %s $end\n", sanitize(k.sub))
+			fmt.Fprintf(w, "$scope module %s $end\n", scopeNames[k.sub])
 			cur = k.sub
 		}
 		v := vars[k]
-		fmt.Fprintf(w, "$var %s %d %s %s $end\n", v.kind, v.width, v.id, sanitize(k.net))
+		fmt.Fprintf(w, "$var %s %d %s %s $end\n", v.kind, v.width, v.id, netNames[k])
 	}
 	if cur != "" {
 		fmt.Fprintf(w, "$upscope $end\n")
@@ -257,6 +280,13 @@ func writeChange(w io.Writer, v *vcdVar, value any, counter uint32) error {
 		bit := "0"
 		if x {
 			bit = "1"
+		}
+		if v.width > 1 {
+			// The net also carried wider values (a detail-level switch
+			// mid-run), so it was declared as a vector; a scalar change
+			// on a vector var is malformed VCD.
+			_, err = fmt.Fprintf(w, "b%s %s\n", bit, v.id)
+			break
 		}
 		_, err = fmt.Fprintf(w, "%s%s\n", bit, v.id)
 	case signal.Byte:
@@ -303,6 +333,17 @@ func vcdID(i int) string {
 		}
 	}
 	return string(id)
+}
+
+// uniqueName returns base, or base_2, base_3, ... — the first form
+// not yet in used — and marks it used.
+func uniqueName(base string, used map[string]bool) string {
+	name := base
+	for n := 2; used[name]; n++ {
+		name = fmt.Sprintf("%s_%d", base, n)
+	}
+	used[name] = true
+	return name
 }
 
 // sanitize makes a name VCD-identifier safe.

@@ -221,3 +221,104 @@ func TestSanitize(t *testing.T) {
 		t.Fatal("sanitize wrong")
 	}
 }
+
+// TestVCDSanitizedCollisions checks that raw names which sanitize to
+// the same identifier — nets "a-b" vs "a_b" in one subsystem, or
+// subsystems "s-1" vs "s_1" — are disambiguated in the declarations,
+// while the Digest (computed over raw names) is untouched.
+func TestVCDSanitizedCollisions(t *testing.T) {
+	r := NewRecorder(0)
+	r.record(Event{Time: 10, Sub: "s-1", Net: "a-b", Source: "x", Value: signal.Word(1)})
+	r.record(Event{Time: 20, Sub: "s-1", Net: "a_b", Source: "x", Value: signal.Word(2)})
+	r.record(Event{Time: 30, Sub: "s_1", Net: "a_b", Source: "x", Value: signal.Word(3)})
+	before := r.Digest()
+	var buf bytes.Buffer
+	if err := r.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	// Both nets of subsystem "s-1" must be declared under distinct
+	// names, and the two subsystems under distinct scope names.
+	for _, want := range []string{
+		"$var wire 32 ! a_b $end",
+		"$var wire 32 \" a_b_2 $end",
+		"$scope module s_1 $end",
+		"$scope module s_1_2 $end",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	if got := r.Digest(); got != before {
+		t.Fatalf("Digest changed across WriteVCD: %x -> %x", before, got)
+	}
+}
+
+// TestVCDLevelOnWidenedVar: a net that carried both Level and Word
+// values (detail switch mid-run) is declared as a 32-bit vector, so
+// its Level changes must use vector (b0/b1) syntax — a scalar change
+// on a vector var is malformed.
+func TestVCDLevelOnWidenedVar(t *testing.T) {
+	r := NewRecorder(0)
+	r.record(Event{Time: 10, Sub: "dut", Net: "dma", Source: "x", Value: signal.Level(true)})
+	r.record(Event{Time: 20, Sub: "dut", Net: "dma", Source: "x", Value: signal.Word(7)})
+	r.record(Event{Time: 30, Sub: "dut", Net: "dma", Source: "x", Value: signal.Level(false)})
+	var buf bytes.Buffer
+	if err := r.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	if !strings.Contains(vcd, "$var wire 32 ! dma $end") {
+		t.Fatalf("dma not widened to 32 bits:\n%s", vcd)
+	}
+	if !strings.Contains(vcd, "b1 !") || !strings.Contains(vcd, "b0 !") {
+		t.Fatalf("level changes on widened var not in vector form:\n%s", vcd)
+	}
+	if strings.Contains(vcd, "\n1!") || strings.Contains(vcd, "\n0!") {
+		t.Fatalf("scalar change emitted for vector var:\n%s", vcd)
+	}
+}
+
+// TestDropAfterInterleavedRestores: two subsystems share one recorder;
+// each restores independently, and each restore drops only its own
+// subsystem's future while the other's interleaved events survive —
+// including with ring retention in play.
+func TestDropAfterInterleavedRestores(t *testing.T) {
+	for _, limit := range []int{0, 6} {
+		r := NewRecorder(limit)
+		for i := 1; i <= 6; i++ {
+			r.record(Event{Time: vtime.Time(10 * i), Sub: "a", Net: "na", Source: "x", Value: signal.Word(i)})
+			r.record(Event{Time: vtime.Time(10*i + 5), Sub: "b", Net: "nb", Source: "y", Value: signal.Word(i)})
+		}
+		// With limit 6 the ring keeps the last 6: a@50, b@55, a@60, b@65
+		// plus the tail of round 4. Restore a back to 40, then b to 55:
+		// the drops must interleave correctly regardless of ring state.
+		r.dropAfter("a", 40)
+		r.dropAfter("b", 55)
+		for _, e := range r.Events() {
+			if e.Sub == "a" && e.Time > 40 {
+				t.Fatalf("limit %d: a's future event @%v survived", limit, e.Time)
+			}
+			if e.Sub == "b" && e.Time > 55 {
+				t.Fatalf("limit %d: b's future event @%v survived", limit, e.Time)
+			}
+		}
+		if limit == 0 {
+			// Unlimited: a keeps 10..40 (4 events), b keeps 15..55 (5).
+			counts := map[string]int{}
+			for _, e := range r.Events() {
+				counts[e.Sub]++
+			}
+			if counts["a"] != 4 || counts["b"] != 5 {
+				t.Fatalf("kept counts %v, want a:4 b:5", counts)
+			}
+		}
+		// The recorder must still accept and retain new events after
+		// interleaved drops reset the ring.
+		r.record(Event{Time: 100, Sub: "a", Net: "na", Source: "x", Value: signal.Word(99)})
+		evs := r.Events()
+		if evs[len(evs)-1].Time != 100 {
+			t.Fatalf("limit %d: post-drop record lost", limit)
+		}
+	}
+}

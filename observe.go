@@ -1,13 +1,21 @@
 package pia
 
 import (
+	"errors"
+	"io"
+
 	"repro/internal/debug"
 	"repro/internal/iss"
 	"repro/internal/metrics"
+	"repro/internal/timeline"
 	"repro/internal/trace"
 )
 
 // Observability and debugging surface.
+
+// errTimelineDisabled is returned by WriteTimeline when EnableTimeline
+// was never called.
+var errTimelineDisabled = errors.New("pia: timeline not enabled")
 
 type (
 	// MetricsRegistry is the unified metrics surface: counters,
@@ -58,6 +66,61 @@ func (sim *Simulation) EnableMetrics(reg *MetricsRegistry) *MetricsRegistry {
 		sim.Hubs[name].EnableMetrics(reg)
 	}
 	return reg
+}
+
+type (
+	// TimelineRecorder is the structured span/event tracer: lifecycle
+	// intervals and causal edges keyed by virtual time (drives,
+	// channel send/delivery flows, checkpoint/restore/rewind markers,
+	// runlevel switches, protocol and WAN fault chatter). Distinct
+	// from TraceRecorder, which records net waveforms.
+	TimelineRecorder = timeline.Recorder
+	// TimelineEvent is one recorded timeline event.
+	TimelineEvent = timeline.Event
+	// TimelineExportOptions controls the Perfetto/logfmt exporters.
+	TimelineExportOptions = timeline.ExportOptions
+)
+
+// NewTimelineRecorder creates a timeline recorder retaining at most
+// limit events (<= 0 selects the default ring size). Pass it to
+// Simulation.EnableTimeline or Node wiring before running.
+func NewTimelineRecorder(limit int) *TimelineRecorder { return timeline.NewRecorder(limit) }
+
+// EnableTimeline wires every subsystem scheduler, channel hub, and
+// detail engine of the simulation into rec and returns the recorder
+// used (a fresh default-sized one when rec is nil). Call between
+// BuildLocal and Run; with the timeline never enabled the hot paths
+// stay hook-free and allocation-free.
+func (sim *Simulation) EnableTimeline(rec *TimelineRecorder) *TimelineRecorder {
+	if rec == nil {
+		rec = NewTimelineRecorder(0)
+	}
+	sim.timelineRec = rec
+	for _, name := range sim.subOrder {
+		sim.Subsystems[name].EnableTimeline(rec)
+		sim.Hubs[name].EnableTimeline(rec)
+		if e := sim.Engines[name]; e != nil {
+			e.EnableTimeline(rec)
+		}
+	}
+	return rec
+}
+
+// Timeline returns the recorder wired by EnableTimeline, or nil.
+func (sim *Simulation) Timeline() *TimelineRecorder { return sim.timelineRec }
+
+// WriteTimeline writes the simulation's canonical timeline as
+// Perfetto/Chrome trace JSON: virtual time is the primary clock, and
+// only the committed, reproducible event kinds are included, so the
+// bytes are identical across reruns of a deterministic run. For the
+// full view (stalls, protocol chatter, wall clocks) export through
+// the recorder directly with TimelineExportOptions.
+func (sim *Simulation) WriteTimeline(w io.Writer) error {
+	rec := sim.timelineRec
+	if rec == nil {
+		return errTimelineDisabled
+	}
+	return timeline.WritePerfetto(w, timeline.Canonical(rec.Events()), timeline.ExportOptions{})
 }
 
 type (

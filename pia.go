@@ -38,6 +38,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/resilience"
 	"repro/internal/snapshot"
+	"repro/internal/timeline"
 	"repro/internal/vtime"
 )
 
@@ -385,6 +386,11 @@ type Simulation struct {
 	Engines    map[string]*detail.Engine
 
 	subOrder []string
+
+	// timelineRec, when non-nil, is the recorder wired by
+	// EnableTimeline. For clusters each node owns its own recorder
+	// instead (see Cluster.EnableTimeline).
+	timelineRec *timeline.Recorder
 }
 
 // BuildLocal realizes the description in-process. Conservative
