@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos metrics timeline bench-smoke bench bench-parallel
+.PHONY: ci vet build test race race-core chaos metrics timeline wire fuzz-smoke bench-smoke bench bench-parallel bench-wire
 
-ci: vet build test race race-core chaos metrics timeline bench-smoke
+ci: vet build test race race-core chaos metrics timeline wire bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,32 @@ timeline:
 	$(GO) test -count=1 ./internal/timeline/ ./internal/trace/
 	$(GO) test -count=1 -run 'TestTimelineChaos' ./internal/experiments/
 	$(GO) test -count=1 -run 'TestDriveFanoutZeroAlloc' ./internal/event/
+
+# The wire gate: the zero-copy hot path's allocation guards (encode,
+# decode and queue scan must stay at 0 allocs/op steady-state), the
+# codec microbenchmarks, the cross-node stress tests under the race
+# detector, and a fuzz smoke pass over the frame parser and batch
+# codec.
+wire:
+	$(GO) test -count=1 -run 'TestCodecZeroAlloc|TestDecodePacketAmortizedAlloc|TestDecodeLargeWordBoxes' ./internal/channel/
+	$(GO) test -count=1 -run 'TestQueueScanZeroAlloc|TestDriveFanoutZeroAlloc' ./internal/event/
+	$(GO) test -race -count=1 -run 'TestBidirectionalStress' ./internal/channel/
+	$(GO) test -race -count=1 ./internal/wire/ ./internal/node/
+	$(GO) test -run=^$$ -bench 'BenchmarkAppendBatch|BenchmarkDecodeBatchInto' -benchtime=1000x ./internal/channel/
+	$(MAKE) fuzz-smoke
+
+# A few seconds of fuzzing per target: the frame parser on hostile
+# streams, the batch decoder on arbitrary payloads, and the
+# encode/decode round trip across the gob-fallback boundary.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzFrameParser -fuzztime=3s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=3s ./internal/channel/
+	$(GO) test -run=^$$ -fuzz=FuzzBatchRoundTrip -fuzztime=3s ./internal/channel/
+
+# The wire-codec ablation: coalesced remote legs, gob fallback vs
+# zero-copy binary, with codec allocs/op — the BENCH_3 artifact.
+bench-wire:
+	$(GO) run ./cmd/piabench -exp wire -json BENCH_3.json
 
 # One iteration of the headline benchmarks, as a smoke test that the
 # Table 1 experiments still run end to end (including the coalesced

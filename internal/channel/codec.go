@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/signal"
 	"repro/internal/vtime"
@@ -175,13 +176,94 @@ func appendMessage(dst []byte, m Message) ([]byte, bool) {
 	}
 }
 
+// forceGob, when set, makes AppendBatch skip the binary fast path and
+// carry every entry as self-describing gob — the pre-zero-copy wire
+// codec. It exists so the -exp wire ablation (and anyone debugging a
+// framing suspicion) can force the compatibility fallback; decoders
+// accept both encodings unconditionally, so the knob only ever needs
+// to be set on the sending side.
+var forceGob atomic.Bool
+
+// SetForceGob forces (or releases) the gob fallback encoding for
+// every batch entry this process sends. Safe from any goroutine.
+func SetForceGob(on bool) { forceGob.Store(on) }
+
+// ForceGob reports whether the gob fallback encoding is forced.
+func ForceGob() bool { return forceGob.Load() }
+
+// entryLenWidth is the fixed width of the patchable per-entry length
+// varint: 4 bytes encode up to 2^28-1, comfortably above the frame
+// limit. Continuation-padded varints are what binary.Uvarint already
+// accepts, so old decoders read the new layout unchanged.
+const entryLenWidth = 4
+
+const maxEntryLen = 1<<(7*entryLenWidth) - 1
+
+// putFixedUvarint4 writes v as a 4-byte continuation-padded varint so
+// an entry length can be patched in place after the body is encoded.
+func putFixedUvarint4(dst []byte, v uint64) {
+	for i := 0; i < entryLenWidth-1; i++ {
+		dst[i] = byte(v&0x7f) | 0x80
+		v >>= 7
+	}
+	dst[entryLenWidth-1] = byte(v & 0x7f)
+}
+
+// sliceWriter lets the gob fallback encode straight into the batch
+// payload under construction, with no intermediate buffer.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// appendEntry encodes one message as a batch entry appended to dst:
+// encoding byte, fixed-width patchable length, body encoded in place.
+// The zero-copy point: the body is written directly into dst — there
+// is no per-message intermediate slice on either encoding.
+func appendEntry(dst []byte, m Message) ([]byte, error) {
+	mark := len(dst)
+	if !forceGob.Load() {
+		dst = append(dst, encBinary)
+		lenPos := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		if out, ok := appendMessage(dst, m); ok {
+			putFixedUvarint4(out[lenPos:lenPos+entryLenWidth], uint64(len(out)-lenPos-entryLenWidth))
+			return out, nil
+		}
+		dst = dst[:mark]
+	}
+	dst = append(dst, encGob)
+	lenPos := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	w := sliceWriter{buf: dst}
+	if err := gob.NewEncoder(&w).Encode(m); err != nil {
+		return dst[:mark], fmt.Errorf("channel: batch gob fallback: %w", err)
+	}
+	dst = w.buf
+	entry := len(dst) - lenPos - entryLenWidth
+	if entry > maxEntryLen {
+		return dst[:mark], fmt.Errorf("channel: batch entry of %d bytes exceeds limit", entry)
+	}
+	putFixedUvarint4(dst[lenPos:lenPos+entryLenWidth], uint64(entry))
+	return dst, nil
+}
+
 // AppendBatch encodes messages into a batch frame payload appended to
 // dst, stopping before the encoded payload would exceed limit bytes.
 // It returns the payload and how many messages were consumed; at
 // least one message is always encoded (a single oversized message is
 // a protocol error surfaced by the transport's own frame limit, not
 // silently truncated here). Messages the binary codec cannot express
-// are embedded as gob entries.
+// are embedded as gob entries; SetForceGob forces that fallback for
+// every entry.
+//
+// Bodies are encoded directly into dst behind reserved fixed-width
+// length varints that are patched afterwards, so the encode path
+// performs no per-message allocation — callers that recycle dst (the
+// wire egress builder does) encode whole batches with zero
+// steady-state allocations.
 func AppendBatch(dst []byte, msgs []Message, limit int) ([]byte, int, error) {
 	if len(msgs) == 0 {
 		return dst, 0, nil
@@ -192,24 +274,14 @@ func AppendBatch(dst []byte, msgs []Message, limit int) ([]byte, int, error) {
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 	entries := len(dst)
 	n := 0
-	var scratch bytes.Buffer
 	for _, m := range msgs {
 		mark := len(dst)
-		body, ok := appendMessage(nil, m)
-		var entry []byte
-		if ok {
-			dst = append(dst, encBinary)
-			dst = binary.AppendUvarint(dst, uint64(len(body)))
-			dst = append(dst, body...)
-		} else {
-			scratch.Reset()
-			if err := gob.NewEncoder(&scratch).Encode(m); err != nil {
-				return dst[:base], n, fmt.Errorf("channel: batch gob fallback: %w", err)
+		var err error
+		if dst, err = appendEntry(dst, m); err != nil {
+			if n == 0 {
+				return dst[:base], 0, err
 			}
-			entry = scratch.Bytes()
-			dst = append(dst, encGob)
-			dst = binary.AppendUvarint(dst, uint64(len(entry)))
-			dst = append(dst, entry...)
+			break // ship what fits; the bad message surfaces next call
 		}
 		if n > 0 && len(dst)-base > limit {
 			dst = dst[:mark] // does not fit: leave for the next frame
@@ -235,14 +307,46 @@ func putFixedUvarint(dst []byte, v uint64) {
 
 // BatchDecoder decodes batch frame payloads. It interns the small
 // recurring strings (subsystem, net and component names) so
-// steady-state decoding does not allocate a fresh string per message.
+// steady-state decoding does not allocate a fresh string per message,
+// and sub-allocates byte payload copies (packets, frame bodies) from
+// a recycled slab so a burst of packets costs one allocation per slab
+// rather than one per message.
 type BatchDecoder struct {
 	names map[string]string
+	slab  []byte
 }
+
+const (
+	// slabSize is the arena chunk the decoder sub-allocates payload
+	// copies from; slabMax bounds what is worth placing there (larger
+	// payloads get their own allocation so a giant packet cannot pin
+	// a mostly-empty slab).
+	slabSize = 64 << 10
+	slabMax  = 4 << 10
+)
 
 // NewBatchDecoder creates a decoder (one per connection pump).
 func NewBatchDecoder() *BatchDecoder {
 	return &BatchDecoder{names: make(map[string]string)}
+}
+
+// copyBytes copies b out of the receive buffer (which is reused for
+// the next frame) into the decoder's slab. The returned slice is
+// capacity-clipped so appends by the consumer cannot clobber a
+// neighbouring payload.
+func (d *BatchDecoder) copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) > slabMax {
+		return append([]byte(nil), b...)
+	}
+	if cap(d.slab)-len(d.slab) < len(b) {
+		d.slab = make([]byte, 0, slabSize)
+	}
+	off := len(d.slab)
+	d.slab = append(d.slab, b...)
+	return d.slab[off : off+len(b) : off+len(b)]
 }
 
 func (d *BatchDecoder) intern(b []byte) string {
@@ -341,9 +445,7 @@ func (d *BatchDecoder) value(r *reader) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make(signal.Packet, len(b))
-		copy(out, b)
-		return out, nil
+		return signal.Packet(d.copyBytes(b)), nil
 	case valFrame:
 		var f signal.Frame
 		if f.Src, err = d.str(r); err != nil {
@@ -363,7 +465,7 @@ func (d *BatchDecoder) value(r *reader) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		f.Payload = append([]byte(nil), b...)
+		f.Payload = d.copyBytes(b)
 		last, err := r.byte1()
 		if err != nil {
 			return nil, err
@@ -474,6 +576,40 @@ func (d *BatchDecoder) message(body []byte) (Message, error) {
 	return m, nil
 }
 
+// entry decodes the next batch entry from r. The gob fallback lives
+// in its own function so its escaping Message does not force a heap
+// allocation onto the binary fast path.
+func (d *BatchDecoder) entry(r *reader) (Message, error) {
+	enc, err := r.byte1()
+	if err != nil {
+		return Message{}, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return Message{}, err
+	}
+	body, err := r.bytes(int(n))
+	if err != nil {
+		return Message{}, err
+	}
+	switch enc {
+	case encBinary:
+		return d.message(body)
+	case encGob:
+		return decodeGobEntry(body)
+	default:
+		return Message{}, fmt.Errorf("channel: unknown batch encoding %d", enc)
+	}
+}
+
+func decodeGobEntry(body []byte) (Message, error) {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return m, fmt.Errorf("channel: batch gob entry: %w", err)
+	}
+	return m, nil
+}
+
 // DecodeBatch decodes a batch frame payload, invoking fn for every
 // message in order. It reports whether a KindClose was seen (the
 // connection pump's signal to stop reading).
@@ -484,30 +620,9 @@ func (d *BatchDecoder) DecodeBatch(payload []byte, fn func(Message)) (closed boo
 		return false, err
 	}
 	for i := uint64(0); i < count; i++ {
-		enc, err := r.byte1()
+		m, err := d.entry(r)
 		if err != nil {
 			return closed, err
-		}
-		n, err := r.uvarint()
-		if err != nil {
-			return closed, err
-		}
-		body, err := r.bytes(int(n))
-		if err != nil {
-			return closed, err
-		}
-		var m Message
-		switch enc {
-		case encBinary:
-			if m, err = d.message(body); err != nil {
-				return closed, err
-			}
-		case encGob:
-			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
-				return closed, fmt.Errorf("channel: batch gob entry: %w", err)
-			}
-		default:
-			return closed, fmt.Errorf("channel: unknown batch encoding %d", enc)
 		}
 		if m.Kind == KindClose {
 			closed = true
@@ -515,4 +630,31 @@ func (d *BatchDecoder) DecodeBatch(payload []byte, fn func(Message)) (closed boo
 		fn(m)
 	}
 	return closed, nil
+}
+
+// DecodeBatchInto decodes a batch frame payload appending every
+// message to buf[:0] and returning it. Message fields are slices of
+// decoder-owned memory (interned names, slab payload copies) — never
+// of the frame payload itself — so the caller may reuse the receive
+// buffer immediately while the decoded batch travels on. Passing the
+// returned slice back in keeps steady-state decoding allocation-free
+// for protocol traffic.
+func (d *BatchDecoder) DecodeBatchInto(payload []byte, buf []Message) (msgs []Message, closed bool, err error) {
+	buf = buf[:0]
+	r := &reader{buf: payload}
+	count, err := r.uvarint()
+	if err != nil {
+		return buf, false, err
+	}
+	for i := uint64(0); i < count; i++ {
+		m, err := d.entry(r)
+		if err != nil {
+			return buf, closed, err
+		}
+		if m.Kind == KindClose {
+			closed = true
+		}
+		buf = append(buf, m)
+	}
+	return buf, closed, nil
 }

@@ -172,11 +172,11 @@ func TestBatchCloseDetected(t *testing.T) {
 func TestBatchDecoderRejectsGarbage(t *testing.T) {
 	dec := NewBatchDecoder()
 	for _, payload := range [][]byte{
-		{},                  // no count
-		{0x01},              // count 1, no entry
-		{0x01, 0x00},        // entry without length
-		{0x01, 0x00, 0x09},  // binary entry shorter than its length
-		{0x01, 0x07, 0x01},  // unknown encoding 7
+		{},                       // no count
+		{0x01},                   // count 1, no entry
+		{0x01, 0x00},             // entry without length
+		{0x01, 0x00, 0x09},       // binary entry shorter than its length
+		{0x01, 0x07, 0x01},       // unknown encoding 7
 		{0x01, 0x00, 0x01, 0xff}, // unknown message kind 255
 	} {
 		if _, err := dec.DecodeBatch(payload, func(Message) {}); err == nil {

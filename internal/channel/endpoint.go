@@ -959,6 +959,49 @@ func (ep *Endpoint) OnMessage(m Message) {
 	})
 }
 
+// msgBufPool recycles the batch buffers OnMessages hands from the
+// transport pump to the scheduler goroutine.
+var msgBufPool = sync.Pool{New: func() any { return make([]Message, 0, 64) }}
+
+// OnMessages is the batched ingress entry point: one decoded frame's
+// worth of messages, queued as a single injection. Processing order —
+// and therefore the channel's FIFO guarantee — is identical to
+// calling OnMessage per message; what changes is the cost: one
+// injection-queue append and one scheduler wakeup per frame instead
+// of one per message. Straggler retry semantics are preserved by
+// resuming the in-batch cursor: a message that requests a rollback is
+// retried (and the rest of the batch stays behind it) exactly as the
+// per-message path would re-queue it at the front.
+//
+// OnMessages copies msgs before returning, so the caller may reuse
+// its slice (the pump's decode buffer) immediately.
+func (ep *Endpoint) OnMessages(msgs []Message) {
+	switch len(msgs) {
+	case 0:
+		return
+	case 1:
+		ep.OnMessage(msgs[0])
+		return
+	}
+	batch := append(msgBufPool.Get().([]Message)[:0], msgs...)
+	ep.queuedN.Add(int64(len(batch)))
+	i := 0
+	ep.sub.InjectFunc(func() bool {
+		for i < len(batch) {
+			if ep.process(batch[i]) {
+				return true // straggler: retry this message after the rollback
+			}
+			ep.handledN.Add(1)
+			i++
+		}
+		for j := range batch {
+			batch[j] = Message{} // drop payload references
+		}
+		msgBufPool.Put(batch[:0]) //nolint:staticcheck // slices are pointer-shaped
+		return false
+	})
+}
+
 // process handles one message on the scheduler goroutine. It returns
 // true (retry after rollback) for optimistic stragglers.
 func (ep *Endpoint) process(m Message) bool {

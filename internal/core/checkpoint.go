@@ -176,9 +176,7 @@ func (s *Subsystem) capture(tag string) (*CheckpointSet, error) {
 		} else if img.Live {
 			return nil, fmt.Errorf("core: checkpoint of %s: %w", c.name, ErrNotCheckpointable)
 		}
-		for _, e := range c.inbox.Snapshot() {
-			img.Inbox = append(img.Inbox, *e)
-		}
+		img.Inbox = c.inbox.Snapshot()
 		if c.memory != nil {
 			img.MemData = c.memory.snapshotData()
 		}
@@ -257,9 +255,8 @@ func (s *Subsystem) RestoreCheckpoint(cs *CheckpointSet) error {
 		c.eofSignaled = img.EOF
 		c.err = nil
 		c.inbox.Reset()
-		for i := range img.Inbox {
-			e := img.Inbox[i] // copy
-			c.inbox.PushStamped(&e)
+		for _, e := range img.Inbox {
+			c.inbox.PushStamped(e)
 		}
 		if img.Live {
 			c.status = statusNew

@@ -123,9 +123,6 @@ type Component struct {
 	// sequential execution.
 	wbuf *workerBuf
 
-	// scratch backs popDeliverable's filtered inbox rebuild.
-	scratch []*event.Event
-
 	// recvPorts is the port filter of the Recv the component is
 	// parked in (nil = any port); recvDeadline bounds the wait.
 	recvPorts    map[string]bool
@@ -215,7 +212,15 @@ func (c *Component) key() vtime.Time {
 		return c.localTime
 	case statusRecv:
 		k := vtime.Infinity
-		if e := c.nextDeliverable(); e != nil {
+		if c.recvPorts == nil {
+			// Unfiltered receive — the overwhelmingly common case. The
+			// key is a pure column read: the head of the inbox's time
+			// column, no event materialized. This is what keeps the
+			// safe-horizon scan walking contiguous memory.
+			if t := c.inbox.NextTime(); t != vtime.Infinity {
+				k = vtime.Max(t, c.localTime)
+			}
+		} else if e, ok := c.nextDeliverable(); ok {
 			k = vtime.Max(e.Time, c.localTime)
 		}
 		if c.recvDeadline < k {
@@ -228,55 +233,29 @@ func (c *Component) key() vtime.Time {
 }
 
 // nextDeliverable returns the earliest inbox event matching the
-// component's current receive filter, or nil.
-func (c *Component) nextDeliverable() *event.Event {
-	head := c.inbox.Peek()
-	if c.recvPorts == nil || head == nil || c.recvPorts[head.Port] {
+// component's current receive filter; ok is false when none matches.
+func (c *Component) nextDeliverable() (event.Event, bool) {
+	head, ok := c.inbox.Peek()
+	if !ok || c.recvPorts == nil || c.recvPorts[head.Port] {
 		// No filter, empty inbox, or the head already matches — the
 		// overwhelmingly common cases, all O(1).
-		return head
+		return head, ok
 	}
-	// Filtered receive with a non-matching head: scan a snapshot.
-	for _, e := range c.inbox.Snapshot() {
-		if c.recvPorts[e.Port] {
-			return e
-		}
-	}
-	return nil
+	// Filtered receive with a non-matching head: a linear column scan
+	// for the (Time, Seq)-minimal match, no snapshot allocated.
+	return c.inbox.MinMatching(c.recvPorts)
 }
 
 // popDeliverable removes and returns the event nextDeliverable would
 // return.
-func (c *Component) popDeliverable() *event.Event {
-	if head := c.inbox.Peek(); head != nil && (c.recvPorts == nil || c.recvPorts[head.Port]) {
-		return c.inbox.Pop()
-	}
+func (c *Component) popDeliverable() (event.Event, bool) {
 	if c.recvPorts == nil {
 		return c.inbox.Pop()
 	}
-	want := c.nextDeliverable()
-	if want == nil {
-		return nil
+	if head, ok := c.inbox.Peek(); ok && c.recvPorts[head.Port] {
+		return c.inbox.Pop()
 	}
-	// Rebuild the inbox without that event, through a per-component
-	// scratch buffer so the filtered path stops allocating a fresh
-	// slice on every pop.
-	rest := c.scratch[:0]
-	for {
-		e := c.inbox.Pop()
-		if e == nil {
-			break
-		}
-		if e == want {
-			continue
-		}
-		rest = append(rest, e)
-	}
-	for _, e := range rest {
-		c.inbox.PushStamped(e)
-	}
-	c.scratch = rest[:0]
-	return want
+	return c.inbox.PopMatching(c.recvPorts)
 }
 
 // tracef emits a trace line from component context: buffered when a

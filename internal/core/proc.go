@@ -252,9 +252,9 @@ func (p *Proc) Logf(format string, args ...any) {
 // bound parks normally, because another component — or the scheduler
 // itself (gates, checkpoints, horizon) — may act first.
 func (c *Component) recvInline(deadline vtime.Time) (Msg, bool, bool) {
-	e := c.nextDeliverable()
+	e, have := c.nextDeliverable()
 	key := vtime.Infinity
-	if e != nil {
+	if have {
 		key = vtime.Max(e.Time, c.localTime)
 	}
 	if deadline < key {
@@ -263,10 +263,9 @@ func (c *Component) recvInline(deadline vtime.Time) (Msg, bool, bool) {
 	if key >= c.fastUntil {
 		return Msg{}, false, false
 	}
-	if e != nil && vtime.Max(e.Time, c.localTime) == key {
-		e = c.popDeliverable()
+	if have && vtime.Max(e.Time, c.localTime) == key {
+		e, _ = c.popDeliverable()
 		msg := c.msgFromEvent(e)
-		event.Put(e)
 		atomic.AddInt64(&c.sub.stats.Deliveries, 1)
 		c.viewNow = key
 		return *msg, true, true
@@ -279,7 +278,7 @@ func (c *Component) recvInline(deadline vtime.Time) (Msg, bool, bool) {
 
 // msgFromEvent converts a delivered event into the Msg handed to Recv,
 // advancing the component's local time to the delivery time.
-func (c *Component) msgFromEvent(e *event.Event) *Msg {
+func (c *Component) msgFromEvent(e event.Event) *Msg {
 	deliver := vtime.Max(e.Time, c.localTime)
 	c.localTime = deliver
 	return &Msg{

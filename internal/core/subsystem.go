@@ -21,6 +21,9 @@ var (
 	// ErrNotCheckpointable is reported when a checkpoint is requested
 	// and a live component's behaviour does not implement StateSaver.
 	ErrNotCheckpointable = errors.New("core: component behaviour does not implement StateSaver")
+	// ErrNotRunning is delivered to an InjectCtl reject callback when
+	// the run loop exited before the control action could execute.
+	ErrNotRunning = errors.New("core: subsystem run loop has exited")
 )
 
 // GateQuiescer is optionally implemented by gates that hold
@@ -64,6 +67,12 @@ type injectedItem struct {
 	// "retry me": the item is re-queued at the front, typically
 	// because it requested a rollback that must complete first.
 	fn func() bool
+
+	// reject, when non-nil, marks a control action with a liveness
+	// guarantee (InjectCtl): if the run loop exits before executing
+	// fn, reject is called with ErrNotRunning instead of leaving the
+	// item stranded in the queue.
+	reject func(error)
 }
 
 // Subsystem is a fragment of the embedded system design under test,
@@ -140,6 +149,22 @@ type Subsystem struct {
 	running bool
 	fatal   error
 
+	// accepting, guarded by mu, is true whenever a run loop is (or
+	// will be) draining the injection queue: from construction until
+	// a Run exit, and again from the next Run entry. While false,
+	// InjectCtl rejects instead of queueing — the caller learns
+	// immediately that no scheduler will ever service the action.
+	accepting bool
+
+	// departGate, guarded by mu, is an extra finite-horizon departure
+	// condition (beyond the safe-time protocol's gatesDrained): Run
+	// stalls at the horizon until it reports true. The node layer
+	// uses it to hold the scheduler alive while resumable sessions
+	// still retain unacked egress or owe a negotiated rewind — state
+	// that, lost with a dead connection, needs this scheduler to
+	// replay. Wake() re-evaluates it.
+	departGate func(vtime.Time) bool
+
 	stats Stats
 
 	// mSched, when non-nil, holds the per-round metric gauges (see
@@ -169,11 +194,12 @@ type Stats struct {
 // NewSubsystem creates an empty subsystem.
 func NewSubsystem(name string) *Subsystem {
 	s := &Subsystem{
-		name:     name,
-		comps:    make(map[string]*Component),
-		nets:     make(map[string]*Net),
-		rbTime:   vtime.Infinity,
-		ckptKeep: 8,
+		name:      name,
+		comps:     make(map[string]*Component),
+		nets:      make(map[string]*Net),
+		rbTime:    vtime.Infinity,
+		ckptKeep:  8,
+		accepting: true,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -415,6 +441,39 @@ func (s *Subsystem) InjectFunc(fn func() bool) {
 	s.mu.Unlock()
 }
 
+// InjectCtl queues fn like InjectFunc but with a liveness guarantee:
+// either a run loop executes fn, or onDead is called (once, with
+// ErrNotRunning) — a control action is never silently stranded in
+// the queue of a scheduler that has already exited. Exits drain the
+// queue first, so an action queued while the loop is live always
+// runs. Safe from any goroutine.
+func (s *Subsystem) InjectCtl(fn func() bool, onDead func(error)) {
+	s.extGen.Add(1)
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		if onDead != nil {
+			onDead(ErrNotRunning)
+		}
+		return
+	}
+	s.injected = append(s.injected, injectedItem{fn: fn, reject: onDead})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SetDepartGate installs an extra departure condition for finite-
+// horizon runs: once local work is exhausted and the safe-time
+// protocol has drained, Run additionally stalls until gate(until)
+// reports true. Call Wake() whenever the gate's verdict may have
+// changed. A nil gate removes the condition. Safe from any goroutine.
+func (s *Subsystem) SetDepartGate(gate func(vtime.Time) bool) {
+	s.mu.Lock()
+	s.departGate = gate
+	s.mu.Unlock()
+	s.Wake()
+}
+
 // DriveNow drives a net immediately from scheduler context (a control
 // injection or scheduler hook). Hidden ports are skipped, exactly as
 // for InjectDrive. Never call it from component code or other
@@ -537,18 +596,18 @@ func (s *Subsystem) driveFrom(n *Net, driver *Port, src string, t vtime.Time, v 
 			}
 			continue
 		}
-		// Pooled: the fanout allocates one event per listener on every
-		// drive — the hottest allocation in a run. step() recycles it
-		// after the payload is copied into the delivered Msg.
-		e := event.Get()
-		e.Time = deliver
-		e.Kind = event.KindNet
-		e.Component = pt.comp.name
-		e.Port = pt.Name
-		e.Net = n.Name
-		e.Value = v
-		e.Source = src
-		pt.comp.inbox.Push(e)
+		// The fanout pushes one event value per listener straight into
+		// the inbox's struct-of-arrays columns; nothing is heap
+		// allocated once those columns reach steady-state capacity.
+		pt.comp.inbox.Push(event.Event{
+			Time:      deliver,
+			Kind:      event.KindNet,
+			Component: pt.comp.name,
+			Port:      pt.Name,
+			Net:       n.Name,
+			Value:     v,
+			Source:    src,
+		})
 		if !pt.comp.active {
 			s.activate(pt.comp)
 		}
@@ -655,7 +714,32 @@ func (s *Subsystem) Run(until vtime.Time) error {
 		return fmt.Errorf("core: subsystem %s already running", s.name)
 	}
 	s.running = true
-	defer func() { s.running = false }()
+	s.mu.Lock()
+	s.accepting = true
+	s.mu.Unlock()
+	defer func() {
+		s.running = false
+		// End injection acceptance (error paths exit without
+		// tryExit) and fail any guaranteed control actions still
+		// queued: their callers must not wait on a dead scheduler.
+		// Plain injections stay queued for a future Run, as before.
+		s.mu.Lock()
+		s.accepting = false
+		var rejected []func(error)
+		kept := s.injected[:0]
+		for _, it := range s.injected {
+			if it.reject != nil {
+				rejected = append(rejected, it.reject)
+			} else {
+				kept = append(kept, it)
+			}
+		}
+		s.injected = kept
+		s.mu.Unlock()
+		for _, r := range rejected {
+			r(ErrNotRunning)
+		}
+	}()
 
 	// The inline fast paths and parallel rounds fuse or reorder
 	// scheduling steps; a per-step hook (detail switchpoints, the
@@ -797,6 +881,21 @@ func (s *Subsystem) Run(until vtime.Time) error {
 				s.stall()
 				continue
 			}
+			// The departure gate holds the scheduler at the horizon
+			// while the session layer still has business that may
+			// need it — unacked retained egress, an outage mid-
+			// resume, a negotiated rewind. Leaving early would
+			// strand a later rewind with no run loop to service it.
+			s.mu.Lock()
+			gate := s.departGate
+			s.mu.Unlock()
+			if gate != nil && !gate(until) {
+				s.stall()
+				continue
+			}
+			if !s.tryExit() {
+				continue
+			}
 			// Claim the horizon only when nothing external can still
 			// deliver inside it: with optimistic ingress channels the
 			// subsystem's time must stay at its last processed event,
@@ -827,6 +926,9 @@ func (s *Subsystem) Run(until vtime.Time) error {
 			}
 			if s.signalEOF() {
 				continue // a component was told the simulation ended
+			}
+			if !s.tryExit() {
+				continue
 			}
 			// Everything done or signalled: unwind survivors and exit.
 			for _, c := range s.order {
@@ -977,13 +1079,9 @@ func (s *Subsystem) step(c *Component, key vtime.Time) {
 	case statusNew, statusRunnable:
 		s.resume(c, tokenMsg{ok: true})
 	case statusRecv:
-		if e := c.nextDeliverable(); e != nil && vtime.Max(e.Time, c.localTime) == key {
-			e = c.popDeliverable()
+		if e, ok := c.nextDeliverable(); ok && vtime.Max(e.Time, c.localTime) == key {
+			e, _ = c.popDeliverable()
 			msg := c.msgFromEvent(e)
-			// msgFromEvent copied everything Recv can see, and
-			// checkpoint images copy inbox events by value at capture
-			// time — nothing references e past this point.
-			event.Put(e)
 			atomic.AddInt64(&s.stats.Deliveries, 1)
 			s.resume(c, tokenMsg{ok: true, msg: msg})
 			return
@@ -1033,6 +1131,23 @@ func (s *Subsystem) stall() {
 	if s.OnResume != nil {
 		s.OnResume()
 	}
+}
+
+// tryExit atomically ends injection acceptance for a clean run exit.
+// Any external request queued concurrently — an injection, a pending
+// checkpoint, a stop, a rollback — aborts the exit (returns false) so
+// the loop absorbs it first; an InjectCtl call that loses the race
+// instead observes accepting == false and rejects itself. Together
+// these guarantee a guaranteed control action is never stranded.
+func (s *Subsystem) tryExit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.injected) > 0 || len(s.ckptTags) > 0 || s.stopReq ||
+		s.rbTime != vtime.Infinity || s.rbTag != "" || s.rbComp != "" {
+		return false
+	}
+	s.accepting = false
+	return true
 }
 
 // waitForWake blocks until something changes: an injection, a gate

@@ -7,37 +7,23 @@ import (
 )
 
 // driveFanout models the scheduler's hottest loop: a drive fans one
-// pooled event out to each of fanout listeners, and the listener-side
+// event value out to each of fanout listeners, and the listener-side
 // drain consumes everything deliverable at the current time.
-func driveFanout(q *Queue, t vtime.Time, fanout int, scratch []*Event, pooled bool) []*Event {
+func driveFanout(q *Queue, t vtime.Time, fanout int, scratch []Event) []Event {
 	for i := 0; i < fanout; i++ {
-		var e *Event
-		if pooled {
-			e = Get()
-		} else {
-			e = &Event{}
-		}
-		e.Time = t
-		e.Kind = KindNet
-		e.Net = "bus"
-		e.Value = i
-		q.Push(e)
+		q.Push(Event{Time: t, Kind: KindNet, Net: "bus", Value: i})
 	}
-	if pooled {
-		scratch = q.DrainInto(t, scratch)
-		for _, e := range scratch {
-			Put(e)
-		}
-		return scratch
+	if scratch == nil {
+		_ = q.Drain(t)
+		return nil
 	}
-	_ = q.Drain(t)
-	return scratch
+	return q.DrainInto(t, scratch)
 }
 
 // BenchmarkDriveFanout measures allocations per drive-fanout round.
-// The pooled + scratch-buffer variant (what the scheduler fast path
-// uses) must not allocate in steady state; the naive variant
-// allocates one event per listener plus a result slice per drain.
+// The scratch-buffer variant (what the scheduler fast path uses) must
+// not allocate in steady state; the naive variant allocates a result
+// slice per drain.
 func BenchmarkDriveFanout(b *testing.B) {
 	const fanout = 32
 
@@ -45,66 +31,79 @@ func BenchmarkDriveFanout(b *testing.B) {
 		var q Queue
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			driveFanout(&q, vtime.Time(i), fanout, nil, false)
+			driveFanout(&q, vtime.Time(i), fanout, nil)
 		}
 	})
 
-	b.Run("pooled-scratch", func(b *testing.B) {
+	b.Run("scratch", func(b *testing.B) {
 		var q Queue
-		scratch := make([]*Event, 0, fanout)
+		scratch := make([]Event, 0, fanout)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			scratch = driveFanout(&q, vtime.Time(i), fanout, scratch, true)
+			scratch = driveFanout(&q, vtime.Time(i), fanout, scratch)
 		}
 	})
 }
 
 // TestDriveFanoutZeroAlloc is the CI guard behind BenchmarkDriveFanout:
-// the pooled + scratch-buffer fast path must stay at exactly 0
-// allocs/op. The metrics layer is pull-based (collectors walk existing
-// Stats() accessors at snapshot time) precisely so this number cannot
-// move when observability ships disabled; a regression here means
-// someone put work back on the drive hot path.
+// the struct-of-arrays queue's push/drain fast path must stay at
+// exactly 0 allocs/op — the heap columns and the row store reach
+// steady-state capacity and are recycled in place, and events move by
+// value so there is no per-event object at all. The metrics layer is
+// pull-based (collectors walk existing Stats() accessors at snapshot
+// time) precisely so this number cannot move when observability ships
+// disabled; a regression here means someone put work back on the
+// drive hot path.
 func TestDriveFanoutZeroAlloc(t *testing.T) {
 	const fanout = 32
 	var q Queue
-	scratch := make([]*Event, 0, fanout)
+	scratch := make([]Event, 0, fanout)
 	tick := vtime.Time(0)
-	// Warm the pool and the scratch buffer to steady state first.
+	// Warm the columns and the scratch buffer to steady state first.
 	for i := 0; i < 16; i++ {
-		scratch = driveFanout(&q, tick, fanout, scratch, true)
+		scratch = driveFanout(&q, tick, fanout, scratch)
 		tick++
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		scratch = driveFanout(&q, tick, fanout, scratch, true)
+		scratch = driveFanout(&q, tick, fanout, scratch)
 		tick++
 	})
 	if allocs != 0 {
-		t.Fatalf("pooled drive fanout allocates %.1f times/op, want 0", allocs)
+		t.Fatalf("drive fanout allocates %.1f times/op, want 0", allocs)
 	}
 }
 
-func TestDrainIntoAndPopBatch(t *testing.T) {
+// TestQueueScanZeroAlloc guards the safe-horizon scan paths: NextTime
+// (the scheduler key scan reads only the head of the time column),
+// MinMatching (filtered receive), Peek, and a PopBatch/PushStamped
+// recycle round must all run allocation-free against a warm queue.
+func TestQueueScanZeroAlloc(t *testing.T) {
 	var q Queue
-	for i := 10; i >= 1; i-- {
-		q.Push(&Event{Time: vtime.Time(i)})
-	}
-	scratch := make([]*Event, 0, 4)
-	got := q.DrainInto(5, scratch)
-	if len(got) != 5 {
-		t.Fatalf("DrainInto(5) returned %d events", len(got))
-	}
-	for i, e := range got {
-		if e.Time != vtime.Time(i+1) {
-			t.Fatalf("event %d at %v, want %v", i, e.Time, i+1)
+	ports := map[string]bool{"irq": true}
+	for i := 0; i < 64; i++ {
+		port := "bus"
+		if i%7 == 0 {
+			port = "irq"
 		}
+		q.Push(Event{Time: vtime.Time(i), Port: port, Net: "bus"})
 	}
-	batch := q.PopBatch(vtime.Infinity, 3, got)
-	if len(batch) != 3 || batch[0].Time != 6 {
-		t.Fatalf("PopBatch(3) = %d events starting %v", len(batch), batch[0].Time)
+	scratch := make([]Event, 0, 64)
+	sink := vtime.Time(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += q.NextTime()
+		if e, ok := q.Peek(); ok {
+			sink += e.Time
+		}
+		if e, ok := q.MinMatching(ports); ok {
+			sink += e.Time
+		}
+		scratch = q.PopBatch(vtime.Infinity, 8, scratch)
+		for _, e := range scratch {
+			q.PushStamped(e)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("queue scan allocates %.1f times/op, want 0", allocs)
 	}
-	rest := q.PopBatch(vtime.Infinity, 0, batch)
-	if len(rest) != 2 || q.Len() != 0 {
-		t.Fatalf("PopBatch(0=all) left %d queued, returned %d", q.Len(), len(rest))
-	}
+	_ = sink
 }

@@ -8,10 +8,19 @@
 // enqueue time, so two events scheduled for the same instant are
 // delivered in the order they were produced. That tie-break is what
 // makes whole-simulation runs reproducible bit-for-bit.
+//
+// The queue is laid out struct-of-arrays: the heap itself is three
+// parallel columns — times, seqs and row indices — while the bulky
+// routing/payload fields live in a separate row store addressed by
+// the index column. Ordering operations (NextTime, the scheduler's
+// safe-horizon key scan, drains) touch only the contiguous time/seq
+// columns; heap swaps move 20 bytes instead of whole events; and the
+// row store recycles slots through a free list, so steady-state
+// traffic allocates nothing. Events move in and out of the queue by
+// value — there is no per-event heap object to pool or leak.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/vtime"
@@ -45,7 +54,8 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is a single scheduled occurrence.
+// Event is a single scheduled occurrence. Events are plain values:
+// they are copied into the queue on Push and copied back out on Pop.
 type Event struct {
 	Time vtime.Time // when the event takes effect
 	Seq  uint64     // enqueue order, breaks Time ties
@@ -74,7 +84,7 @@ type Event struct {
 }
 
 // Before reports whether e is ordered strictly before f.
-func (e *Event) Before(f *Event) bool {
+func (e Event) Before(f Event) bool {
 	if e.Time != f.Time {
 		return e.Time < f.Time
 	}
@@ -82,7 +92,7 @@ func (e *Event) Before(f *Event) bool {
 }
 
 // String renders a compact description for traces.
-func (e *Event) String() string {
+func (e Event) String() string {
 	switch e.Kind {
 	case KindNet:
 		return fmt.Sprintf("@%v net %s -> %s.%s = %v", e.Time, e.Net, e.Component, e.Port, e.Value)
@@ -93,79 +103,243 @@ func (e *Event) String() string {
 	}
 }
 
+// payload is the row-store half of an event: everything except the
+// (Time, Seq) ordering key, which lives in the heap columns.
+type payload struct {
+	kind      Kind
+	component string
+	port      string
+	net       string
+	source    string
+	value     any
+	exec      func()
+}
+
 // Queue is a priority queue of events ordered by (Time, Seq).
 // The zero value is ready to use. Queue is not safe for concurrent
 // use; the subsystem scheduler owns it.
 type Queue struct {
-	h   eventHeap
+	// Heap columns, parallel by heap position.
+	times []vtime.Time
+	seqs  []uint64
+	rows  []int32 // index into store
+
+	// Row store plus free list of recycled slots.
+	store []payload
+	free  []int32
+
 	seq uint64
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return len(q.times) }
 
-// Push schedules an event, stamping it with the next sequence number.
-// It returns the stamped event (the same pointer).
-func (q *Queue) Push(e *Event) *Event {
+func (q *Queue) less(i, j int) bool {
+	if q.times[i] != q.times[j] {
+		return q.times[i] < q.times[j]
+	}
+	return q.seqs[i] < q.seqs[j]
+}
+
+func (q *Queue) swap(i, j int) {
+	q.times[i], q.times[j] = q.times[j], q.times[i]
+	q.seqs[i], q.seqs[j] = q.seqs[j], q.seqs[i]
+	q.rows[i], q.rows[j] = q.rows[j], q.rows[i]
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.times)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			return
+		}
+		q.swap(i, m)
+		i = m
+	}
+}
+
+// alloc claims a row slot and fills it from e.
+func (q *Queue) alloc(e *Event) int32 {
+	var slot int32
+	if n := len(q.free); n > 0 {
+		slot = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		q.store = append(q.store, payload{})
+		slot = int32(len(q.store) - 1)
+	}
+	q.store[slot] = payload{
+		kind:      e.Kind,
+		component: e.Component,
+		port:      e.Port,
+		net:       e.Net,
+		source:    e.Source,
+		value:     e.Value,
+		exec:      e.Exec,
+	}
+	return slot
+}
+
+func (q *Queue) pushCols(t vtime.Time, seq uint64, slot int32) {
+	q.times = append(q.times, t)
+	q.seqs = append(q.seqs, seq)
+	q.rows = append(q.rows, slot)
+	q.up(len(q.times) - 1)
+}
+
+// Push schedules an event, stamping it with the next sequence number,
+// which it returns.
+func (q *Queue) Push(e Event) uint64 {
 	q.seq++
-	e.Seq = q.seq
-	heap.Push(&q.h, e)
-	return e
+	q.pushCols(e.Time, q.seq, q.alloc(&e))
+	return q.seq
 }
 
 // PushStamped schedules an event that already carries a sequence
 // number (used when replaying events captured in a snapshot, so the
 // original ordering is preserved).
-func (q *Queue) PushStamped(e *Event) {
+func (q *Queue) PushStamped(e Event) {
 	if e.Seq > q.seq {
 		q.seq = e.Seq
 	}
-	heap.Push(&q.h, e)
+	q.pushCols(e.Time, e.Seq, q.alloc(&e))
 }
 
-// Peek returns the earliest event without removing it, or nil when the
-// queue is empty.
-func (q *Queue) Peek() *Event {
-	if len(q.h) == 0 {
-		return nil
+// eventAt materializes the event at heap position i without removing
+// it.
+func (q *Queue) eventAt(i int) Event {
+	p := &q.store[q.rows[i]]
+	return Event{
+		Time:      q.times[i],
+		Seq:       q.seqs[i],
+		Kind:      p.kind,
+		Component: p.component,
+		Port:      p.port,
+		Net:       p.net,
+		Source:    p.source,
+		Value:     p.value,
+		Exec:      p.exec,
 	}
-	return q.h[0]
 }
 
-// Pop removes and returns the earliest event, or nil when empty.
-func (q *Queue) Pop() *Event {
-	if len(q.h) == 0 {
-		return nil
+// Peek returns the earliest event without removing it; ok is false
+// when the queue is empty.
+func (q *Queue) Peek() (e Event, ok bool) {
+	if len(q.times) == 0 {
+		return Event{}, false
 	}
-	return heap.Pop(&q.h).(*Event)
+	return q.eventAt(0), true
+}
+
+// removeAt extracts the event at heap position i, restores heap order
+// and recycles its row slot.
+func (q *Queue) removeAt(i int) Event {
+	e := q.eventAt(i)
+	slot := q.rows[i]
+	n := len(q.times) - 1
+	q.swap(i, n)
+	q.times = q.times[:n]
+	q.seqs = q.seqs[:n]
+	q.rows = q.rows[:n]
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+	q.store[slot] = payload{} // drop value/closure references
+	q.free = append(q.free, slot)
+	return e
+}
+
+// Pop removes and returns the earliest event; ok is false when empty.
+func (q *Queue) Pop() (e Event, ok bool) {
+	if len(q.times) == 0 {
+		return Event{}, false
+	}
+	return q.removeAt(0), true
 }
 
 // NextTime returns the time of the earliest pending event, or
-// vtime.Infinity when the queue is empty.
+// vtime.Infinity when the queue is empty. It reads only the head of
+// the time column — the safe-horizon scan's fast path.
 func (q *Queue) NextTime() vtime.Time {
-	if len(q.h) == 0 {
+	if len(q.times) == 0 {
 		return vtime.Infinity
 	}
-	return q.h[0].Time
+	return q.times[0]
+}
+
+// MinMatching returns the earliest event whose Port is in ports,
+// without removing it. It scans the columns linearly: the (Time, Seq)
+// pair is a total order, so the minimum over matches is exactly the
+// event a sorted walk would find first. Used by filtered receives.
+func (q *Queue) MinMatching(ports map[string]bool) (e Event, ok bool) {
+	best := -1
+	for i := range q.times {
+		if !ports[q.store[q.rows[i]].port] {
+			continue
+		}
+		if best < 0 || q.less(i, best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Event{}, false
+	}
+	return q.eventAt(best), true
+}
+
+// PopMatching removes and returns the earliest event whose Port is in
+// ports; ok is false when none match.
+func (q *Queue) PopMatching(ports map[string]bool) (e Event, ok bool) {
+	best := -1
+	for i := range q.times {
+		if !ports[q.store[q.rows[i]].port] {
+			continue
+		}
+		if best < 0 || q.less(i, best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Event{}, false
+	}
+	return q.removeAt(best), true
 }
 
 // Drain removes and returns all events with Time <= t, in order. It
 // allocates a fresh slice per call; hot paths should use DrainInto
 // with a reused scratch buffer instead.
-func (q *Queue) Drain(t vtime.Time) []*Event {
+func (q *Queue) Drain(t vtime.Time) []Event {
 	return q.DrainInto(t, nil)
 }
 
 // DrainInto removes all events with Time <= t, in order, appending
 // them to buf[:0] and returning it (grown as needed). Passing the
 // returned slice back in on the next call makes the drive-fanout
-// drain allocation-free in steady state; the caller owns the events
-// and is expected to hand them back to the pool via Put once
-// consumed.
-func (q *Queue) DrainInto(t vtime.Time, buf []*Event) []*Event {
+// drain allocation-free in steady state.
+func (q *Queue) DrainInto(t vtime.Time, buf []Event) []Event {
 	buf = buf[:0]
-	for len(q.h) > 0 && q.h[0].Time <= t {
-		buf = append(buf, heap.Pop(&q.h).(*Event))
+	for len(q.times) > 0 && q.times[0] <= t {
+		buf = append(buf, q.removeAt(0))
 	}
 	return buf
 }
@@ -173,25 +347,39 @@ func (q *Queue) DrainInto(t vtime.Time, buf []*Event) []*Event {
 // PopBatch removes up to max events (all of them when max <= 0) with
 // Time <= t, appending into buf[:0] like DrainInto. It lets a caller
 // bound how much work one drain may claim.
-func (q *Queue) PopBatch(t vtime.Time, max int, buf []*Event) []*Event {
+func (q *Queue) PopBatch(t vtime.Time, max int, buf []Event) []Event {
 	buf = buf[:0]
-	for len(q.h) > 0 && q.h[0].Time <= t {
+	for len(q.times) > 0 && q.times[0] <= t {
 		if max > 0 && len(buf) >= max {
 			break
 		}
-		buf = append(buf, heap.Pop(&q.h).(*Event))
+		buf = append(buf, q.removeAt(0))
 	}
 	return buf
 }
 
 // Snapshot returns the pending events in delivery order without
 // disturbing the queue. Used by the checkpoint machinery.
-func (q *Queue) Snapshot() []*Event {
-	tmp := make(eventHeap, len(q.h))
-	copy(tmp, q.h)
-	out := make([]*Event, 0, len(tmp))
-	for len(tmp) > 0 {
-		out = append(out, heap.Pop(&tmp).(*Event))
+func (q *Queue) Snapshot() []Event {
+	n := len(q.times)
+	if n == 0 {
+		return nil
+	}
+	// Copy the heap columns and pop the copy down; the row store is
+	// only read.
+	tmp := Queue{
+		times: append([]vtime.Time(nil), q.times...),
+		seqs:  append([]uint64(nil), q.seqs...),
+		rows:  append([]int32(nil), q.rows...),
+		store: q.store,
+	}
+	out := make([]Event, 0, n)
+	for len(tmp.times) > 0 {
+		out = append(out, tmp.eventAt(0))
+		m := len(tmp.times) - 1
+		tmp.swap(0, m)
+		tmp.times, tmp.seqs, tmp.rows = tmp.times[:m], tmp.seqs[:m], tmp.rows[:m]
+		tmp.down(0)
 	}
 	return out
 }
@@ -200,37 +388,36 @@ func (q *Queue) Snapshot() []*Event {
 // how many were removed. Used on rollback: events from the discarded
 // future must not survive the restore.
 func (q *Queue) DiscardAfter(t vtime.Time) int {
-	kept := q.h[:0]
 	removed := 0
-	for _, e := range q.h {
-		if e.Time > t {
+	kept := 0
+	for i := 0; i < len(q.times); i++ {
+		if q.times[i] > t {
+			slot := q.rows[i]
+			q.store[slot] = payload{}
+			q.free = append(q.free, slot)
 			removed++
 			continue
 		}
-		kept = append(kept, e)
+		q.times[kept], q.seqs[kept], q.rows[kept] = q.times[i], q.seqs[i], q.rows[i]
+		kept++
 	}
-	q.h = kept
-	heap.Init(&q.h)
+	q.times, q.seqs, q.rows = q.times[:kept], q.seqs[:kept], q.rows[:kept]
+	// Re-heapify the surviving columns.
+	for i := kept/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 	return removed
 }
 
 // Reset empties the queue but keeps the sequence counter monotone, so
 // new events still order after everything ever scheduled.
-func (q *Queue) Reset() { q.h = q.h[:0] }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].Before(h[j]) }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (q *Queue) Reset() {
+	for i := range q.store {
+		q.store[i] = payload{}
+	}
+	q.times = q.times[:0]
+	q.seqs = q.seqs[:0]
+	q.rows = q.rows[:0]
+	q.free = q.free[:0]
+	q.store = q.store[:0]
 }

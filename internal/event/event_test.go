@@ -9,14 +9,23 @@ import (
 	"repro/internal/vtime"
 )
 
+func mustPop(t *testing.T, q *Queue) Event {
+	t.Helper()
+	e, ok := q.Pop()
+	if !ok {
+		t.Fatal("Pop on empty queue")
+	}
+	return e
+}
+
 func TestQueueOrdering(t *testing.T) {
 	var q Queue
-	q.Push(&Event{Time: 30})
-	q.Push(&Event{Time: 10})
-	q.Push(&Event{Time: 20})
+	q.Push(Event{Time: 30})
+	q.Push(Event{Time: 10})
+	q.Push(Event{Time: 20})
 	var got []vtime.Time
 	for q.Len() > 0 {
-		got = append(got, q.Pop().Time)
+		got = append(got, mustPop(t, &q).Time)
 	}
 	want := []vtime.Time{10, 20, 30}
 	for i := range want {
@@ -29,10 +38,10 @@ func TestQueueOrdering(t *testing.T) {
 func TestQueueFIFOWithinSameTime(t *testing.T) {
 	var q Queue
 	for i := 0; i < 5; i++ {
-		q.Push(&Event{Time: 7, Component: string(rune('a' + i))})
+		q.Push(Event{Time: 7, Component: string(rune('a' + i))})
 	}
 	for i := 0; i < 5; i++ {
-		e := q.Pop()
+		e := mustPop(t, &q)
 		if e.Component != string(rune('a'+i)) {
 			t.Fatalf("tie-break broken: got %q at position %d", e.Component, i)
 		}
@@ -41,14 +50,15 @@ func TestQueueFIFOWithinSameTime(t *testing.T) {
 
 func TestPeekAndNextTime(t *testing.T) {
 	var q Queue
-	if q.Peek() != nil {
-		t.Fatal("Peek on empty queue should be nil")
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue should report !ok")
 	}
 	if q.NextTime() != vtime.Infinity {
 		t.Fatal("NextTime on empty queue should be Infinity")
 	}
-	q.Push(&Event{Time: 42})
-	if q.Peek().Time != 42 || q.NextTime() != 42 {
+	q.Push(Event{Time: 42})
+	head, ok := q.Peek()
+	if !ok || head.Time != 42 || q.NextTime() != 42 {
 		t.Fatal("Peek/NextTime disagree with contents")
 	}
 	if q.Len() != 1 {
@@ -58,15 +68,15 @@ func TestPeekAndNextTime(t *testing.T) {
 
 func TestPopEmpty(t *testing.T) {
 	var q Queue
-	if q.Pop() != nil {
-		t.Fatal("Pop on empty queue should be nil")
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should report !ok")
 	}
 }
 
 func TestDrain(t *testing.T) {
 	var q Queue
 	for _, ts := range []vtime.Time{5, 1, 9, 3, 7} {
-		q.Push(&Event{Time: ts})
+		q.Push(Event{Time: ts})
 	}
 	got := q.Drain(5)
 	if len(got) != 3 {
@@ -85,7 +95,7 @@ func TestDrain(t *testing.T) {
 func TestDiscardAfter(t *testing.T) {
 	var q Queue
 	for _, ts := range []vtime.Time{5, 1, 9, 3, 7} {
-		q.Push(&Event{Time: ts})
+		q.Push(Event{Time: ts})
 	}
 	n := q.DiscardAfter(5)
 	if n != 2 {
@@ -93,7 +103,7 @@ func TestDiscardAfter(t *testing.T) {
 	}
 	var rest []vtime.Time
 	for q.Len() > 0 {
-		rest = append(rest, q.Pop().Time)
+		rest = append(rest, mustPop(t, &q).Time)
 	}
 	want := []vtime.Time{1, 3, 5}
 	for i := range want {
@@ -106,34 +116,108 @@ func TestDiscardAfter(t *testing.T) {
 func TestSnapshotDoesNotDisturb(t *testing.T) {
 	var q Queue
 	for _, ts := range []vtime.Time{5, 1, 9} {
-		q.Push(&Event{Time: ts})
+		q.Push(Event{Time: ts})
 	}
 	snap := q.Snapshot()
 	if len(snap) != 3 || snap[0].Time != 1 || snap[1].Time != 5 || snap[2].Time != 9 {
 		t.Fatalf("snapshot wrong: %v", snap)
 	}
-	if q.Len() != 3 || q.Peek().Time != 1 {
+	head, ok := q.Peek()
+	if q.Len() != 3 || !ok || head.Time != 1 {
 		t.Fatal("Snapshot disturbed the queue")
 	}
 }
 
 func TestPushStampedPreservesOrder(t *testing.T) {
 	var q Queue
-	a := q.Push(&Event{Time: 4})
-	b := q.Push(&Event{Time: 4})
+	a := Event{Time: 4, Component: "a"}
+	b := Event{Time: 4, Component: "b"}
+	a.Seq = q.Push(a)
+	b.Seq = q.Push(b)
 	// Simulate replay into a fresh queue.
 	var r Queue
 	r.PushStamped(b)
 	r.PushStamped(a)
-	if r.Pop() != a || r.Pop() != b {
+	if e := mustPop(t, &r); e.Seq != a.Seq || e.Component != "a" {
+		t.Fatal("PushStamped lost original ordering")
+	}
+	if e := mustPop(t, &r); e.Seq != b.Seq || e.Component != "b" {
 		t.Fatal("PushStamped lost original ordering")
 	}
 	// New pushes must order after replayed ones at the same time.
 	var s Queue
 	s.PushStamped(b)
-	c := s.Push(&Event{Time: 4})
-	if c.Seq <= b.Seq {
+	if cSeq := s.Push(Event{Time: 4}); cSeq <= b.Seq {
 		t.Fatal("sequence counter not kept monotone across PushStamped")
+	}
+}
+
+func TestMinMatchingAndPopMatching(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 3, Port: "irq"})
+	q.Push(Event{Time: 1, Port: "bus"})
+	q.Push(Event{Time: 2, Port: "irq"})
+	q.Push(Event{Time: 2, Port: "bus"})
+
+	irq := map[string]bool{"irq": true}
+	e, ok := q.MinMatching(irq)
+	if !ok || e.Time != 2 || e.Port != "irq" {
+		t.Fatalf("MinMatching = %v ok=%v, want irq@2", e, ok)
+	}
+	if q.Len() != 4 {
+		t.Fatal("MinMatching must not remove")
+	}
+
+	e, ok = q.PopMatching(irq)
+	if !ok || e.Time != 2 || e.Port != "irq" {
+		t.Fatalf("PopMatching = %v ok=%v, want irq@2", e, ok)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("PopMatching left %d events, want 3", q.Len())
+	}
+	// The untouched events still pop in global order.
+	want := []vtime.Time{1, 2, 3}
+	for i := 0; q.Len() > 0; i++ {
+		if got := mustPop(t, &q).Time; got != want[i] {
+			t.Fatalf("position %d: %v, want %v", i, got, want[i])
+		}
+	}
+
+	if _, ok := q.MinMatching(map[string]bool{"none": true}); ok {
+		t.Fatal("MinMatching matched a nonexistent port")
+	}
+	if _, ok := q.PopMatching(map[string]bool{"none": true}); ok {
+		t.Fatal("PopMatching matched a nonexistent port")
+	}
+}
+
+// Property: MinMatching agrees with a drain-and-filter reference.
+func TestMinMatchingProperty(t *testing.T) {
+	f := func(times []uint8, mask []bool) bool {
+		var q Queue
+		ports := map[string]bool{"a": true}
+		anyMatch := false
+		for i, ts := range times {
+			port := "b"
+			if i < len(mask) && mask[i] {
+				port = "a"
+				anyMatch = true
+			}
+			q.Push(Event{Time: vtime.Time(ts), Port: port})
+		}
+		got, ok := q.MinMatching(ports)
+		if !anyMatch {
+			return !ok
+		}
+		for _, e := range q.Snapshot() {
+			if e.Port == "a" {
+				return ok && got.Time == e.Time && got.Seq == e.Seq
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -143,11 +227,11 @@ func TestQueueSortedProperty(t *testing.T) {
 	f := func(times []uint16) bool {
 		var q Queue
 		for _, ts := range times {
-			q.Push(&Event{Time: vtime.Time(ts)})
+			q.Push(Event{Time: vtime.Time(ts)})
 		}
-		prev := &Event{Time: -1}
+		prev := Event{Time: -1}
 		for q.Len() > 0 {
-			e := q.Pop()
+			e, _ := q.Pop()
 			if e.Before(prev) {
 				return false
 			}
@@ -165,7 +249,7 @@ func TestDrainPartitionProperty(t *testing.T) {
 	f := func(times []uint8, cut uint8) bool {
 		var q Queue
 		for _, ts := range times {
-			q.Push(&Event{Time: vtime.Time(ts)})
+			q.Push(Event{Time: vtime.Time(ts)})
 		}
 		got := q.Drain(vtime.Time(cut))
 		for _, e := range got {
@@ -174,7 +258,8 @@ func TestDrainPartitionProperty(t *testing.T) {
 			}
 		}
 		for q.Len() > 0 {
-			if q.Pop().Time <= vtime.Time(cut) {
+			e, _ := q.Pop()
+			if e.Time <= vtime.Time(cut) {
 				return false
 			}
 		}
@@ -186,15 +271,15 @@ func TestDrainPartitionProperty(t *testing.T) {
 }
 
 func TestEventString(t *testing.T) {
-	e := &Event{Time: 5, Kind: KindNet, Net: "bus", Component: "cpu", Port: "in", Value: 7}
+	e := Event{Time: 5, Kind: KindNet, Net: "bus", Component: "cpu", Port: "in", Value: 7}
 	if s := e.String(); s == "" {
 		t.Fatal("empty String for net event")
 	}
-	timer := &Event{Time: 5, Kind: KindTimer, Component: "cpu"}
+	timer := Event{Time: 5, Kind: KindTimer, Component: "cpu"}
 	if s := timer.String(); s == "" {
 		t.Fatal("empty String for timer event")
 	}
-	ctl := &Event{Time: 5, Kind: KindControl}
+	ctl := Event{Time: 5, Kind: KindControl}
 	if s := ctl.String(); s == "" {
 		t.Fatal("empty String for control event")
 	}
@@ -215,7 +300,7 @@ func BenchmarkQueuePushPop(b *testing.B) {
 	b.ResetTimer()
 	var q Queue
 	for i := 0; i < b.N; i++ {
-		q.Push(&Event{Time: times[i%len(times)]})
+		q.Push(Event{Time: times[i%len(times)]})
 		if q.Len() > 512 {
 			q.Pop()
 		}
@@ -233,12 +318,12 @@ func TestStableAgainstSort(t *testing.T) {
 	var ref []rec
 	for i := 0; i < 500; i++ {
 		ts := vtime.Time(rng.Intn(50))
-		q.Push(&Event{Time: ts})
+		q.Push(Event{Time: ts})
 		ref = append(ref, rec{ts, i})
 	}
 	sort.SliceStable(ref, func(i, j int) bool { return ref[i].time < ref[j].time })
 	for i := 0; q.Len() > 0; i++ {
-		if got := q.Pop().Time; got != ref[i].time {
+		if got := mustPop(t, &q).Time; got != ref[i].time {
 			t.Fatalf("position %d: heap %v, reference %v", i, got, ref[i].time)
 		}
 	}

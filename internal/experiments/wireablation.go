@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	pia "repro"
+	"repro/internal/channel"
+	"repro/internal/proto"
+	"repro/internal/signal"
+	"repro/internal/vtime"
+)
+
+// WireRow is one leg of the wire-codec ablation: the coalesced remote
+// workload at a given detail level, run with either the gob fallback
+// forced on every batch entry (the pre-zero-copy codec) or the
+// zero-copy binary path.
+type WireRow struct {
+	Table1Row
+	Codec string // "gob" or "zero-copy"
+
+	// BytesPerFrame is the mean wire frame size (headers included).
+	BytesPerFrame float64
+
+	// EncodeAllocs and DecodeAllocs are codec-microbench figures for
+	// this codec: allocations per batch encoded into a recycled
+	// buffer / decoded into a recycled message slice.
+	EncodeAllocs float64
+	DecodeAllocs float64
+}
+
+// allocsPerRun measures heap allocations per call of f, after one
+// warm-up call — the experiments-side analog of
+// testing.AllocsPerRun, so piabench can report allocs/op without
+// importing the testing package.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// codecAllocs measures encode and decode allocations per batch for
+// the current forceGob setting, on the protocol mix the remote hot
+// path actually carries (small-word drives, asks, grants).
+func codecAllocs() (encode, decode float64, err error) {
+	msgs := []channel.Message{
+		{Kind: channel.KindData, From: "ss1", Seq: 1, Ack: 3, Net: "dmaLink", Source: "cpu", Time: 100, Value: signal.Word(17)},
+		{Kind: channel.KindData, From: "ss1", Seq: 2, Ack: 3, Net: "dmaLink", Source: "cpu", Time: 110, Value: signal.Level(true)},
+		{Kind: channel.KindSafeTimeReq, From: "ss1", Seq: 3, Ack: 4, Ask: 500},
+		{Kind: channel.KindSafeTimeGrant, From: "ss1", Seq: 4, Ack: 5, Grant: vtime.Infinity},
+	}
+	var dst []byte
+	var encErr error
+	encode = allocsPerRun(200, func() {
+		dst, _, encErr = channel.AppendBatch(dst[:0], msgs, 1<<20)
+	})
+	if encErr != nil {
+		return 0, 0, encErr
+	}
+	payload, _, err := channel.AppendBatch(nil, msgs, 1<<20)
+	if err != nil {
+		return 0, 0, err
+	}
+	dec := channel.NewBatchDecoder()
+	var buf []channel.Message
+	var decErr error
+	decode = allocsPerRun(200, func() {
+		buf, _, decErr = dec.DecodeBatchInto(payload, buf)
+	})
+	if decErr != nil {
+		return 0, 0, decErr
+	}
+	return encode, decode, nil
+}
+
+// WireAblation runs the coalesced remote workload at word and packet
+// level, once per codec — gob forced everywhere versus the zero-copy
+// binary path — on identical workloads, and attaches the codec
+// microbench figures. The virtual results of the two codecs must be
+// bit-identical (same times, same drives); any divergence is an
+// error, because the wire format must never leak into simulation
+// semantics.
+func WireAblation(c Table1Config) ([]WireRow, error) {
+	if !c.Coalesce.Enabled() {
+		c.Coalesce = pia.DefaultCoalesce
+	}
+	defer channel.SetForceGob(false)
+	var rows []WireRow
+	for _, level := range []string{proto.LevelWord, proto.LevelPacket} {
+		var legs [2]WireRow
+		for i, codec := range []string{"gob", "zero-copy"} {
+			channel.SetForceGob(codec == "gob")
+			enc, dec, err := codecAllocs()
+			if err != nil {
+				return nil, err
+			}
+			row, err := Remote(c, level)
+			if err != nil {
+				return nil, fmt.Errorf("wire ablation (%s, %s): %w", level, codec, err)
+			}
+			row.Location = "remote+coalesce"
+			legs[i] = WireRow{Table1Row: row, Codec: codec, EncodeAllocs: enc, DecodeAllocs: dec}
+			if row.FramesOut > 0 {
+				legs[i].BytesPerFrame = float64(row.WireBytesOut) / float64(row.FramesOut)
+			}
+		}
+		if legs[0].Virt != legs[1].Virt || legs[0].Drives != legs[1].Drives {
+			return nil, fmt.Errorf("wire ablation (%s): codecs diverge: gob virt=%v drives=%d, zero-copy virt=%v drives=%d",
+				level, legs[0].Virt, legs[0].Drives, legs[1].Virt, legs[1].Drives)
+		}
+		rows = append(rows, legs[0], legs[1])
+	}
+	return rows, nil
+}

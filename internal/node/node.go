@@ -80,6 +80,11 @@ type Hosted struct {
 	// OnChannel, when set, is invoked after an incoming handshake
 	// creates a server-side endpoint — the place to bind split nets.
 	OnChannel func(ep *channel.Endpoint)
+
+	// sessions, guarded by the node's mu, are the resumable sessions
+	// serving this subsystem's channels. The subsystem's departure
+	// gate consults them (see bindSession).
+	sessions []*resilience.Session
 }
 
 // Node is a Pia node: a number of sockets, each of which can
@@ -260,6 +265,35 @@ func (n *Node) addSession(s *resilience.Session) {
 	}
 	n.sessions = append(n.sessions, s)
 	n.mu.Unlock()
+}
+
+// bindSession ties a resumable session to the hosted subsystem it
+// serves: finite-horizon departure now additionally waits until the
+// session is quiescent — retained egress acked, no outage in
+// progress, no rewind pending — and session transitions wake the
+// scheduler to re-check. Without this, a run could end while the
+// session still held egress that a dead connection would turn into a
+// negotiated rewind, which needs exactly the scheduler that just
+// left (the hang this gate exists to prevent).
+func (n *Node) bindSession(h *Hosted, sess *resilience.Session) {
+	n.mu.Lock()
+	h.sessions = append(h.sessions, sess)
+	first := len(h.sessions) == 1
+	n.mu.Unlock()
+	if first {
+		h.Sub.SetDepartGate(func(vtime.Time) bool {
+			n.mu.Lock()
+			ss := append([]*resilience.Session(nil), h.sessions...)
+			n.mu.Unlock()
+			for _, s := range ss {
+				if !s.Quiescent() {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	sess.SetOnChange(h.Sub.Wake)
 }
 
 // BreakConns kills the current TCP connection of every resilient
@@ -468,6 +502,7 @@ func (n *Node) serveConn(c *wire.Conn, sess *resilience.Session) error {
 	n.applyCoalescing(ep)
 	if sess != nil {
 		sess.SetRewindHooks(n.rewindHooks(h.ToSub))
+		n.bindSession(hosted, sess)
 	}
 	if hosted.OnChannel != nil {
 		hosted.OnChannel(ep)
@@ -518,6 +553,7 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 		s.Tracer = n.Tracer
 		s.SetRewindHooks(n.rewindHooks(localSub))
 		n.addSession(s)
+		n.bindSession(hosted, s)
 		sess = s
 		c = wire.NewConn(s)
 	} else {
@@ -570,6 +606,7 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 // Any unrecoverable transport failure is wrapped in PeerLostError.
 func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint, h *Hosted, sess *resilience.Session) error {
 	dec := channel.NewBatchDecoder()
+	var batch []channel.Message
 	for {
 		kind, payload, err := c.RecvFrame()
 		if err != nil {
@@ -596,10 +633,17 @@ func (n *Node) pump(c *wire.Conn, ep *channel.Endpoint, h *Hosted, sess *resilie
 				return nil
 			}
 		case wire.FrameBatch:
-			closed, err := dec.DecodeBatch(payload, ep.OnMessage)
+			// Decode the whole frame into a reused buffer and hand it to
+			// the endpoint as one batch: one scheduler injection per
+			// frame. OnMessages copies the batch, so the buffer (and the
+			// wire receive buffer the decoder read from) is immediately
+			// reusable for the next frame.
+			msgs, closed, err := dec.DecodeBatchInto(payload, batch)
+			batch = msgs
 			if err != nil {
 				return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(), Cause: err}
 			}
+			ep.OnMessages(msgs)
 			if closed {
 				return nil
 			}
@@ -634,6 +678,10 @@ func (n *Node) handleRewind(h *Hosted, ep *channel.Endpoint, sess *resilience.Se
 		},
 		func(err error) { done <- err })
 	if err := <-done; err != nil {
+		// Abandon the session: the peer must see a terminal death
+		// rather than wait forever for post-rewind traffic this
+		// side can no longer produce.
+		sess.Close()
 		return &PeerLostError{Peer: ep.Peer(), LastSeq: ep.LastSeqIn(), Cause: err}
 	}
 	return nil
@@ -730,22 +778,25 @@ func (t *connTransport) Send(m channel.Message) error { return t.c.Send(frame{Ms
 func (t *connTransport) Close() error                 { return nil } // node owns the conn
 
 // SendBatch encodes the messages into as few batch frames as the
-// frame limit allows (almost always one) and writes them in order.
-// The encode buffer is pooled, so a steady-state flush allocates
-// nothing beyond what gob fallback entries need.
+// frame limit allows (almost always one) and flushes them with a
+// single Write. The messages are encoded directly into the
+// connection's recycled egress buffer — no intermediate frame copy —
+// so a steady-state flush allocates nothing beyond what gob fallback
+// entries need, and the whole batch costs one syscall (and, on a
+// resilient session, one CRC envelope).
 func (t *connTransport) SendBatch(msgs []channel.Message) error {
-	buf := wire.GetBuf()
-	defer func() { wire.PutBuf(buf) }()
+	eg := t.c.BeginEgress()
+	defer eg.Close()
 	for len(msgs) > 0 {
-		payload, done, err := channel.AppendBatch(buf[:0], msgs, wire.MaxFrame)
+		buf := eg.BeginFrame(wire.FrameBatch)
+		buf, done, err := channel.AppendBatch(buf, msgs, wire.MaxFrame)
 		if err != nil {
 			return err
 		}
-		buf = payload
-		if err := t.c.SendRaw(wire.FrameBatch, payload); err != nil {
+		if err := eg.EndFrame(buf); err != nil {
 			return err
 		}
 		msgs = msgs[done:]
 	}
-	return nil
+	return eg.Flush()
 }

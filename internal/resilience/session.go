@@ -181,6 +181,13 @@ type Session struct {
 	rng   *rand.Rand // backoff jitter; guarded by mu
 	stats Stats
 
+	// onChange, guarded by mu, is invoked (without locks held) after
+	// any transition that can flip Quiescent: ack progress, epoch
+	// death, resume, rewind arm/clear, terminal failure. The node
+	// layer points it at the hosted subsystem's Wake so a scheduler
+	// stalled on the departure gate re-evaluates promptly.
+	onChange func()
+
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
 
@@ -268,6 +275,44 @@ func (s *Session) ClearRewind() {
 	s.rewindPending = false
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.notify()
+}
+
+// SetOnChange installs the quiescence-transition callback (see the
+// onChange field). Safe from any goroutine.
+func (s *Session) SetOnChange(f func()) {
+	s.mu.Lock()
+	s.onChange = f
+	s.mu.Unlock()
+}
+
+// notify fires the onChange callback, if any, without holding mu.
+func (s *Session) notify() {
+	s.mu.Lock()
+	f := s.onChange
+	s.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// Quiescent reports whether this session can be left unattended by
+// the subsystem scheduler: nothing it has sent is still at risk and
+// no negotiated rewind awaits servicing. A terminally failed session
+// is quiescent — nothing will ever need the scheduler again. A
+// session mid-outage is not: the coming resume may negotiate a
+// checkpoint rewind, which only a live run loop can execute. The
+// node layer gates finite-horizon departure on this.
+func (s *Session) Quiescent() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return true
+	}
+	if s.rewindPending || len(s.retention) > 0 {
+		return false
+	}
+	return s.conn != nil
 }
 
 func (s *Session) trace(format string, args ...any) {
@@ -405,6 +450,7 @@ func (s *Session) fail(err error) {
 		id := s.id
 		s.mu.Unlock()
 		s.trace("resilience session %d: terminal: %v", id, err)
+		s.notify()
 		return
 	}
 	s.mu.Unlock()
@@ -452,6 +498,7 @@ func (s *Session) epochDead(conn io.ReadWriteCloser, cause error) {
 		conn.Close()
 		s.trace("resilience session %d: epoch died: %v", id, cause)
 		s.timelineEvent("epoch-death", fmt.Sprint(cause))
+		s.notify()
 		return
 	}
 	s.mu.Unlock()
@@ -505,6 +552,7 @@ func (s *Session) attach(conn io.ReadWriteCloser, peerRecvNext uint64) {
 		s.trace("resilience session %d: resumed, replayed %d envelopes from seq %d",
 			s.ID(), len(replay), replay[0].seq)
 	}
+	s.notify()
 }
 
 // resetForRewind clears all stream state for a negotiated checkpoint
@@ -524,6 +572,7 @@ func (s *Session) resetForRewind(tag string) {
 	s.mu.Unlock()
 	s.trace("resilience session %d: rewinding to checkpoint %q", s.ID(), tag)
 	s.timelineEvent("rewind", tag)
+	s.notify()
 }
 
 // readLoop consumes envelopes from one connection epoch until it
@@ -545,6 +594,10 @@ func (s *Session) readLoop(conn io.ReadWriteCloser) {
 			s.epochDead(conn, fatal)
 			return
 		}
+		// Acks piggybacked on the envelope may have emptied
+		// retention — a scheduler stalled on the departure gate
+		// needs to hear about it.
+		s.notify()
 	}
 }
 

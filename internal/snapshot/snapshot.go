@@ -234,6 +234,8 @@ func (a *Agent) HasTag(tag string) bool {
 // fires between the restore and the in-flight replay (the node layer
 // reopens channel egress there, since replayed drives may forward
 // across the channel immediately); done fires last with the outcome.
+// If the subsystem's run loop has already exited, done fires with an
+// error instead of waiting on a scheduler that will never come back.
 // Safe from any goroutine.
 func (a *Agent) RewindTo(tag string, beforeRestore, beforeReplay func(), done func(error)) {
 	fail := func(err error) {
@@ -244,7 +246,7 @@ func (a *Agent) RewindTo(tag string, beforeRestore, beforeReplay func(), done fu
 			done(err)
 		}
 	}
-	a.sub.InjectFunc(func() bool {
+	a.sub.InjectCtl(func() bool {
 		if beforeRestore != nil {
 			beforeRestore()
 		}
@@ -268,6 +270,16 @@ func (a *Agent) RewindTo(tag string, beforeRestore, beforeReplay func(), done fu
 			done(nil)
 		}
 		return false
+	}, func(err error) {
+		// The run loop exited before servicing the rewind (it can
+		// only happen in the narrow window between a clean departure
+		// and the rewind negotiation — the departure gate holds the
+		// loop alive while any session business is pending). Only
+		// done may run here: this fires off the scheduler goroutine,
+		// so a.err is out of bounds.
+		if done != nil {
+			done(fmt.Errorf("snapshot: rewind to %q: %w", tag, err))
+		}
 	})
 }
 

@@ -33,14 +33,16 @@ const (
 	FrameBatch byte = 1
 )
 
-// Conn frames values over a byte stream. Send, SendRaw are safe for
-// concurrent use; Recv and RecvFrame must be called from a single
-// reader.
+// Conn frames values over a byte stream. Send, SendRaw and
+// BeginEgress are safe for concurrent use; Recv and RecvFrame must be
+// called from a single reader.
 type Conn struct {
 	rwc io.ReadWriteCloser
 
-	wmu  sync.Mutex
-	wbuf bytes.Buffer
+	wmu    sync.Mutex
+	wbuf   bytes.Buffer
+	ebuf   []byte // egress assembly buffer, recycled across flushes
+	egress Egress // the Conn's single egress builder, guarded by wmu
 
 	rbuf []byte // receive buffer, reused across frames
 
@@ -83,18 +85,30 @@ func (c *Conn) writeFrameLocked(kind byte, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [headerLen]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = kind
-	if _, err := c.rwc.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
+	// Assemble header + payload contiguously and flush with a single
+	// Write: one syscall per frame, and exactly one envelope when the
+	// stream is a resilient session (which frames every Write it
+	// sees). The counters record precisely what was handed to the
+	// stream, on every path — gob fallback included.
+	buf := append(c.ebuf[:0], 0, 0, 0, 0, kind)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf = append(buf, payload...)
+	n, err := c.rwc.Write(buf)
+	c.retainEbuf(buf)
+	c.bytesOut.Add(int64(n))
+	if err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
-	if _, err := c.rwc.Write(payload); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
-	}
-	c.bytesOut.Add(int64(headerLen + len(payload)))
 	c.framesOut.Add(1)
 	return nil
+}
+
+// retainEbuf keeps the egress assembly buffer for the next flush,
+// unless it has grown pathological.
+func (c *Conn) retainEbuf(buf []byte) {
+	if cap(buf) <= MaxFrame {
+		c.ebuf = buf[:0]
+	}
 }
 
 // RecvFrame reads one frame and returns its kind and payload. The
@@ -156,6 +170,111 @@ func PutBuf(b []byte) {
 		return // do not retain pathological buffers
 	}
 	bufPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped
+}
+
+// Egress is a multi-frame egress builder: callers encode frame
+// payloads directly into the connection's recycled assembly buffer —
+// no intermediate per-frame slice — and Flush hands the whole run of
+// frames to the stream in a single Write (the writev-style batched
+// flush). Obtain one with BeginEgress; it holds the connection's
+// write lock until Close.
+type Egress struct {
+	c      *Conn
+	buf    []byte
+	hdr    int // offset of the open frame's header, -1 when none
+	frames int
+	err    error
+}
+
+// BeginEgress locks the connection for writing and returns its egress
+// builder (no allocation: the builder is part of the Conn). The
+// caller must call Close exactly once, typically via defer; Flush
+// before Close to actually send.
+func (c *Conn) BeginEgress() *Egress {
+	c.wmu.Lock()
+	e := &c.egress
+	e.c = c
+	e.buf = c.ebuf[:0]
+	e.hdr = -1
+	e.frames = 0
+	e.err = nil
+	return e
+}
+
+// BeginFrame opens a frame of the given kind and returns the buffer
+// to append the payload to. The caller encodes in place and hands the
+// grown buffer to EndFrame.
+func (e *Egress) BeginFrame(kind byte) []byte {
+	if e.hdr >= 0 {
+		e.err = fmt.Errorf("wire: BeginFrame with a frame already open")
+		return e.buf
+	}
+	e.hdr = len(e.buf)
+	e.buf = append(e.buf, 0, 0, 0, 0, kind)
+	return e.buf
+}
+
+// EndFrame seals the frame whose payload was appended to buf (the
+// slice returned by BeginFrame, possibly reallocated by appends) by
+// patching the length prefix in place.
+func (e *Egress) EndFrame(buf []byte) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.hdr < 0 {
+		e.err = fmt.Errorf("wire: EndFrame without BeginFrame")
+		return e.err
+	}
+	e.buf = buf
+	payload := len(buf) - e.hdr - headerLen
+	if payload < 0 {
+		e.err = fmt.Errorf("wire: EndFrame buffer shorter than its header")
+		return e.err
+	}
+	if payload > MaxFrame {
+		e.err = fmt.Errorf("wire: frame of %d bytes exceeds limit", payload)
+		return e.err
+	}
+	binary.BigEndian.PutUint32(buf[e.hdr:e.hdr+4], uint32(payload))
+	e.hdr = -1
+	e.frames++
+	return nil
+}
+
+// Flush writes every sealed frame with one Write call and resets the
+// builder for further frames. Byte and frame counters record what was
+// actually handed to the stream.
+func (e *Egress) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.hdr >= 0 {
+		e.err = fmt.Errorf("wire: Flush with an unsealed frame")
+		return e.err
+	}
+	if len(e.buf) == 0 {
+		return nil
+	}
+	n, err := e.c.rwc.Write(e.buf)
+	e.c.bytesOut.Add(int64(n))
+	if err != nil {
+		e.err = fmt.Errorf("wire: write frames: %w", err)
+		return e.err
+	}
+	e.c.framesOut.Add(int64(e.frames))
+	e.frames = 0
+	e.buf = e.buf[:0]
+	return nil
+}
+
+// Close releases the connection's write lock and recycles the
+// assembly buffer. Unflushed frames are dropped (an abort).
+func (e *Egress) Close() {
+	c := e.c
+	c.retainEbuf(e.buf)
+	e.buf = nil
+	e.c = nil
+	c.wmu.Unlock()
 }
 
 // Close closes the underlying stream.
