@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos metrics timeline wire fuzz-smoke bench-smoke bench bench-parallel bench-wire
+.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate
 
-ci: vet build test race race-core chaos metrics timeline wire bench-smoke
+ci: vet build test race race-core chaos mesh metrics timeline wire bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,12 @@ race-core:
 # detector.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/experiments/...
+
+# The mesh gate: the 3-node control plane and live migration under
+# the race detector, including the drive-digest equivalence suite
+# (stationary vs migrated vs there-and-back vs randomized barriers).
+mesh:
+	$(GO) test -race -count=1 ./internal/mesh/
 
 # The observability gate: every Stats()/snapshot accessor hammered
 # concurrently with live faulted traffic under the race detector, plus
@@ -88,6 +94,13 @@ bench-smoke:
 # determinism gate.
 bench-parallel:
 	$(GO) run ./cmd/piabench -exp parallel -json BENCH_2.json
+
+# The live-migration experiment: zero virtual downtime and
+# bit-identical digests across stationary, migrated and chaos legs
+# (piabench exits non-zero on divergence), plus the wall-clock
+# migration and epoch-propagation costs — the BENCH_4 artifact.
+bench-migrate:
+	$(GO) run ./cmd/piabench -exp migrate -json BENCH_4.json
 
 bench: bench-parallel
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

@@ -99,7 +99,7 @@ func startReporter() {
 }
 
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, migrate, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	wireGob := flag.Bool("wire-gob", false, "force the gob fallback wire codec on every batch entry (the pre-zero-copy format)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
 	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
@@ -147,6 +147,7 @@ func main() {
 		"coalesce":    coalesce,
 		"wire":        wireExp,
 		"parallel":    parallel,
+		"migrate":     migrateExp,
 		"fig1":        fig1,
 		"fig2":        fig2,
 		"fig3":        fig3,
@@ -477,6 +478,95 @@ func writeParallelJSON(cfg experiments.ParallelConfig, rows []experiments.Parall
 			VirtualNS:  int64(r.Virt),
 			LinkDrives: r.Drives,
 		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+	return nil
+}
+
+// migrateExp runs the live-migration experiment: the 3-member mesh
+// demo workload stationary, with a mid-run migration of the hot
+// component, and with the migration under seeded WAN faults. The
+// headline is zero virtual downtime and bit-identical drive digests
+// across all legs; the measured costs are the migration's wall-clock
+// span and the placement-epoch propagation latency.
+func migrateExp(int) error {
+	fmt.Printf("Live migration: 3-member mesh, hot component moved mid-run (chaos seed %d)\n\n", chaosSeed)
+	cfg := experiments.MigrateConfig{Seed: chaosSeed}
+	rows, err := experiments.Migrate(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mode\twall\trounds\treissues\tmigrations\tepoch\tvirtual downtime\tmigration wall\tepoch propagation\tdigests")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%d\t%dns\t%v\t%v\t%s\n",
+			r.Mode, r.Wall.Round(time.Millisecond), r.Rounds, r.Reissues, r.Migrations, r.Epoch,
+			int64(r.VirtualDowntime), r.MigrationWall, r.EpochPropagation, matchWord(r.DigestsMatch))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nresult invariant holds: %d drive digests bit-identical across stationary, migrated and chaos legs\n",
+		len(rows[0].Digests))
+	return writeMigrateJSON(cfg, rows)
+}
+
+func matchWord(ok bool) string {
+	if ok {
+		return "identical"
+	}
+	return "DIVERGED"
+}
+
+// migrateRow is the machine-readable form of one migration leg.
+type migrateRow struct {
+	Mode               string            `json:"mode"`
+	WallNS             int64             `json:"wall_ns"`
+	Rounds             int64             `json:"rounds"`
+	Reissues           int64             `json:"reissues"`
+	Migrations         int64             `json:"migrations"`
+	Epoch              uint64            `json:"epoch"`
+	VirtualDowntimeNS  int64             `json:"virtual_downtime_ns"`
+	MigrationWallNS    int64             `json:"migration_wall_ns"`
+	EpochPropagationNS int64             `json:"epoch_propagation_ns"`
+	DigestsMatch       bool              `json:"digests_match"`
+	Digests            map[string]string `json:"digests"`
+}
+
+func writeMigrateJSON(cfg experiments.MigrateConfig, rows []experiments.MigrateRow) error {
+	if jsonOut == "" {
+		return nil
+	}
+	out := struct {
+		Experiment string       `json:"experiment"`
+		Seed       int64        `json:"seed"`
+		Rows       []migrateRow `json:"rows"`
+	}{Experiment: "migrate", Seed: cfg.Seed}
+	for _, r := range rows {
+		jr := migrateRow{
+			Mode:               r.Mode,
+			WallNS:             r.Wall.Nanoseconds(),
+			Rounds:             r.Rounds,
+			Reissues:           r.Reissues,
+			Migrations:         r.Migrations,
+			Epoch:              r.Epoch,
+			VirtualDowntimeNS:  int64(r.VirtualDowntime),
+			MigrationWallNS:    r.MigrationWall.Nanoseconds(),
+			EpochPropagationNS: r.EpochPropagation.Nanoseconds(),
+			DigestsMatch:       r.DigestsMatch,
+			Digests:            map[string]string{},
+		}
+		for _, comp := range experiments.DigestComponents(r.Digests) {
+			jr.Digests[comp] = fmt.Sprintf("%016x", r.Digests[comp])
+		}
+		out.Rows = append(out.Rows, jr)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -23,12 +23,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/resilience"
@@ -78,6 +80,14 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ on the -metrics address")
 	timelinePath := flag.String("timeline", "", "record a structured timeline and write it (per-node native JSON) to this file at shutdown")
 	timelineMerge := flag.String("timeline-merge", "", "merge per-node timeline files (remaining args) into a Perfetto trace at this path, then exit")
+
+	// Mesh mode: join an N-node control plane running the shared
+	// migration demo workload instead of serving the modem site.
+	meshName := flag.String("mesh-name", "", "join a mesh as this member and run the migration demo workload (requires -peers)")
+	meshPeers := flag.String("peers", "", "static mesh peer list: comma-separated name=host:port control addresses including this member's own entry (bare host:port entries get names derived from the address)")
+	meshStep := flag.Duration("mesh-step", 25*time.Millisecond, "mesh lock-step round length in virtual time")
+	meshUntil := flag.Duration("mesh-until", 0, "virtual horizon for the mesh run (0 = the demo workload's natural horizon)")
+	meshMigrate := flag.String("mesh-migrate", "", "scripted live migration, \"component:dest@virtualtime\" e.g. \"hot:bravo@50ms\" (leader only)")
 	flag.Parse()
 	channel.SetForceGob(*wireGob)
 
@@ -108,6 +118,70 @@ func main() {
 		log.Fatal("pianode: -pprof needs -metrics to provide the HTTP listener")
 	}
 
+	fcfg := faultnet.Config{
+		Seed:         *seed,
+		Latency:      *faultLatency,
+		Jitter:       *faultJitter,
+		BandwidthBps: *faultBW,
+		DropProb:     *faultDrop,
+		DupProb:      *faultDup,
+		ReorderProb:  *faultReorder,
+		CorruptProb:  *faultCorrupt,
+	}
+	if *faultPartition != "" {
+		parts, err := faultnet.ParsePartitions(*faultPartition)
+		if err != nil {
+			log.Fatalf("pianode: -fault-partition: %v", err)
+		}
+		fcfg.Partitions = parts
+	}
+	rcfg := resilience.Config{
+		Heartbeat:       *heartbeat,
+		HeartbeatMiss:   *heartbeatMiss,
+		RetryBase:       *retryBase,
+		RetryMax:        *retryMax,
+		RetentionFrames: *retentionFrames,
+		RetentionBytes:  *retentionBytes,
+		Seed:            *seed,
+	}
+
+	// Mesh mode replaces the modem-site server wholesale: the node
+	// becomes one member of an N-node control plane running the shared
+	// migration demo workload in lock step.
+	if *meshName != "" || *meshPeers != "" {
+		if *meshName == "" {
+			log.Fatal("pianode: -peers needs -mesh-name to say which member this node is")
+		}
+		// The single-node default port would collide between co-hosted
+		// members; mesh mode defaults to an ephemeral data port (the
+		// control plane exchanges the bound addresses) unless -listen
+		// was given explicitly.
+		dataListen := "127.0.0.1:0"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "listen" {
+				dataListen = *listen
+			}
+		})
+		if err := runMesh(meshOptions{
+			name:         *meshName,
+			peers:        *meshPeers,
+			dataListen:   dataListen,
+			metricsAddr:  *metricsAddr,
+			timelinePath: *timelinePath,
+			migrate:      *meshMigrate,
+			pprofOn:      *pprofOn,
+			verbose:      *verbose,
+			resilient:    *resilient,
+			step:         *meshStep,
+			until:        *meshUntil,
+			faults:       fcfg,
+			res:          rcfg,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	cfg := wubbleu.DefaultConfig()
 	cfg.PageSize = *pageKB * 1024
 	cfg.Images = *images
@@ -130,23 +204,6 @@ func main() {
 			MaxHold:  vtime.Duration(*coalesceHold),
 		})
 	}
-	fcfg := faultnet.Config{
-		Seed:         *seed,
-		Latency:      *faultLatency,
-		Jitter:       *faultJitter,
-		BandwidthBps: *faultBW,
-		DropProb:     *faultDrop,
-		DupProb:      *faultDup,
-		ReorderProb:  *faultReorder,
-		CorruptProb:  *faultCorrupt,
-	}
-	if *faultPartition != "" {
-		parts, err := faultnet.ParsePartitions(*faultPartition)
-		if err != nil {
-			log.Fatalf("pianode: -fault-partition: %v", err)
-		}
-		fcfg.Partitions = parts
-	}
 	if fcfg.Enabled() {
 		n.SetFaults(fcfg)
 		if !*resilient {
@@ -154,15 +211,7 @@ func main() {
 		}
 	}
 	if *resilient {
-		n.SetResilience(resilience.Config{
-			Heartbeat:       *heartbeat,
-			HeartbeatMiss:   *heartbeatMiss,
-			RetryBase:       *retryBase,
-			RetryMax:        *retryMax,
-			RetentionFrames: *retentionFrames,
-			RetentionBytes:  *retentionBytes,
-			Seed:            *seed,
-		})
+		n.SetResilience(rcfg)
 	}
 	hosted := n.Host(sub)
 	// When a designer's node connects, splice the incoming channel
@@ -196,7 +245,7 @@ func main() {
 		sub.Name(), cfg.Level, *pageKB, addr)
 
 	if *metricsAddr != "" {
-		maddr, err := serveMetrics(*metricsAddr, reg, n, *resilient, *pprofOn)
+		maddr, err := serveMetrics(*metricsAddr, reg, n, *resilient, *pprofOn, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -250,8 +299,10 @@ func main() {
 // Prometheus text by default (JSON via ?format=json or an Accept
 // header asking for application/json), /healthz reporting session
 // liveness, and — when enabled — the net/http/pprof profile surface
-// under /debug/pprof/. Returns the bound address.
-func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, pprofOn bool) (string, error) {
+// under /debug/pprof/. With a mesh member, /healthz switches to the
+// membership view and POST /migrate becomes the live-migration admin
+// endpoint. Returns the bound address.
+func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, pprofOn bool, mem *mesh.Member) (string, error) {
 	mux := http.NewServeMux()
 	if pprofOn {
 		// The handlers register themselves on http.DefaultServeMux at
@@ -274,7 +325,16 @@ func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, p
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
+	if mem != nil {
+		mux.HandleFunc("/migrate", func(w http.ResponseWriter, r *http.Request) {
+			handleMigrate(w, r, mem)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if mem != nil {
+			meshHealth(w, mem)
+			return
+		}
 		total, alive := n.SessionHealth()
 		rs := n.ResilienceStats()
 		status := "ok"
@@ -311,6 +371,289 @@ func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, p
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// meshHealth reports this member's view of the mesh: every member
+// with its join/leave state and last-heartbeat age. The probe fails
+// (503) only when a quorum of members is dead; losing one peer of a
+// larger mesh reports "degraded" but stays 200, because the mesh is
+// still able to coordinate rounds once the peer returns.
+func meshHealth(w http.ResponseWriter, mem *mesh.Member) {
+	h := mem.Health()
+	status, code := "ok", http.StatusOK
+	switch {
+	case h.QuorumDead:
+		status, code = "quorum-dead", http.StatusServiceUnavailable
+	case h.Alive < h.Total:
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":     status,
+		"mesh":       true,
+		"self":       mem.Name(),
+		"leader":     mem.Leader(),
+		"epoch":      mem.Epoch(),
+		"placement":  mem.Placement(),
+		"members":    h.Members,
+		"alive":      h.Alive,
+		"total":      h.Total,
+		"quorumDead": h.QuorumDead,
+	})
+}
+
+// handleMigrate accepts POST /migrate?component=hot&dest=bravo on any
+// member and forwards the request to the mesh leader, which performs
+// the migration at the next held drain barrier. The response only
+// acknowledges acceptance; completion shows up as an epoch bump in
+// /healthz.
+func handleMigrate(w http.ResponseWriter, r *http.Request, mem *mesh.Member) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	comp := r.FormValue("component")
+	if comp == "" {
+		comp = r.FormValue("comp")
+	}
+	dest := r.FormValue("dest")
+	if comp == "" || dest == "" {
+		http.Error(w, "need component= and dest= parameters", http.StatusBadRequest)
+		return
+	}
+	if _, ok := mem.Placement()[comp]; !ok {
+		http.Error(w, fmt.Sprintf("unknown component %q", comp), http.StatusNotFound)
+		return
+	}
+	known := false
+	for _, name := range mem.Members() {
+		known = known || name == dest
+	}
+	if !known {
+		http.Error(w, fmt.Sprintf("unknown member %q", dest), http.StatusNotFound)
+		return
+	}
+	if err := mem.RequestMigration(comp, dest); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"accepted":  true,
+		"component": comp,
+		"dest":      dest,
+		"leader":    mem.Leader(),
+	})
+}
+
+// meshOptions carries the parsed flag values into mesh mode.
+type meshOptions struct {
+	name, peers, dataListen, metricsAddr, timelinePath, migrate string
+	pprofOn, verbose, resilient                                 bool
+	step, until                                                 time.Duration
+	faults                                                      faultnet.Config
+	res                                                         resilience.Config
+}
+
+// runMesh joins the static mesh as one member and runs the shared
+// migration demo workload in lock step with its peers. The
+// lexicographically smallest member leads; every member prints its
+// per-component drive digests at the end, so bit-identical output
+// across a migrated and a stationary run can be checked from the
+// shell.
+func runMesh(o meshOptions) error {
+	peers, err := parsePeers(o.peers)
+	if err != nil {
+		return err
+	}
+	self, ok := peers[o.name]
+	if !ok {
+		return fmt.Errorf("pianode: -peers has no entry for this member %q", o.name)
+	}
+	names := make([]string, 0, len(peers))
+	for name := range peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// The control plane is N-node; the demo workload is written for
+	// exactly three members (DemoBlueprint rejects other sizes).
+	params := mesh.DemoParams{Members: names}
+	bp, err := mesh.DemoBlueprint(params)
+	if err != nil {
+		return err
+	}
+
+	nd := node.New(o.name)
+	if o.verbose {
+		nd.Tracer = func(s string) { log.Print(s) }
+	}
+	if o.faults.Enabled() {
+		nd.SetFaults(o.faults)
+		if !o.resilient {
+			log.Print("pianode: warning: faults armed without -resilient; data channels will not survive them")
+		}
+	}
+	if o.resilient {
+		nd.SetResilience(o.res)
+	}
+	var reg *metrics.Registry
+	if o.metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		nd.EnableMetrics(reg)
+	}
+	cfg := mesh.Config{
+		Name:       o.name,
+		Blueprint:  bp,
+		Node:       nd,
+		CtlListen:  self,
+		DataListen: o.dataListen,
+	}
+	if o.timelinePath != "" {
+		cfg.Timeline = timeline.NewRecorder(0)
+	}
+	mem, err := mesh.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer mem.Close()
+	fmt.Printf("pianode: mesh member %q: control on %s, data on %s\n",
+		o.name, mem.CtlAddr(), mem.DataAddr())
+
+	// Admin/metrics listener comes up before the (blocking) mesh
+	// formation so probes can watch the mesh assemble.
+	if o.metricsAddr != "" {
+		maddr, err := serveMetrics(o.metricsAddr, reg, nd, o.resilient, o.pprofOn, mem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pianode: mesh health on http://%s/healthz, migration admin on http://%s/migrate\n",
+			maddr, maddr)
+	}
+
+	others := make(map[string]string, len(peers))
+	for name, addr := range peers {
+		if name != o.name {
+			others[name] = addr
+		}
+	}
+	if err := mem.Start(others); err != nil {
+		return err
+	}
+	fmt.Printf("pianode: mesh up: %d members, leader %q\n", len(names), mem.Leader())
+
+	if o.migrate != "" {
+		comp, dest, at, err := parseMigrate(o.migrate)
+		if err != nil {
+			return err
+		}
+		if mem.IsLeader() {
+			if err := mem.MigrateAt(at, comp, dest); err != nil {
+				return err
+			}
+			fmt.Printf("pianode: migration of %q to %q scheduled at vt=%d\n", comp, dest, int64(at))
+		} else {
+			log.Print("pianode: -mesh-migrate ignored on a follower; pass it to the leader (or POST /migrate to any member)")
+		}
+	}
+
+	until := vtime.Time(o.until.Nanoseconds())
+	if o.until <= 0 {
+		until = params.Horizon()
+	}
+	done := make(chan error, 1)
+	go func() {
+		if mem.IsLeader() {
+			done <- mem.Lead(until, vtime.Duration(o.step.Nanoseconds()))
+		} else {
+			done <- mem.Wait()
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+	case <-sig:
+		fmt.Println("pianode: interrupted")
+		mem.Close()
+		<-done
+		return nil
+	}
+
+	st := mem.Stats()
+	fmt.Printf("pianode: mesh run complete: rounds=%d reissues=%d migrations=%d epoch=%d\n",
+		st.Rounds, st.Reissues, st.Migrations, st.Epoch)
+	if st.Migrations > 0 {
+		fmt.Printf("pianode: last migration: virtual downtime=%dns wall=%s epoch_propagation=%s\n",
+			int64(st.MigrationVirtual), st.MigrationWall, st.EpochPropagation)
+	}
+	digs := mem.Digests()
+	comps := make([]string, 0, len(digs))
+	for c := range digs {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Printf("pianode: digest %s=%016x\n", c, digs[c])
+	}
+	if o.timelinePath != "" {
+		if err := nd.WriteTimeline(o.timelinePath); err != nil {
+			log.Printf("pianode: -timeline: %v", err)
+		} else {
+			fmt.Printf("pianode: timeline written to %s (merge with -timeline-merge)\n", o.timelinePath)
+		}
+	}
+	return nil
+}
+
+// parsePeers parses the static member list. Entries are
+// name=host:port; a bare host:port gets a deterministic name derived
+// from the address so every member derives the same set.
+func parsePeers(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("pianode: mesh mode needs -peers name=host:port[,name=host:port...]")
+	}
+	peers := make(map[string]string)
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(ent, "=")
+		if !ok {
+			name, addr = "m-"+strings.NewReplacer(":", "-", "/", "-").Replace(ent), ent
+		}
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("pianode: bad -peers entry %q (want name=host:port)", ent)
+		}
+		if prev, dup := peers[name]; dup {
+			return nil, fmt.Errorf("pianode: duplicate -peers name %q (%s and %s)", name, prev, addr)
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+// parseMigrate parses "component:dest@virtualtime" where virtualtime
+// is a Go duration measured from virtual zero, e.g. "hot:bravo@50ms".
+func parseMigrate(s string) (comp, dest string, at vtime.Time, err error) {
+	spec, atStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return "", "", 0, fmt.Errorf("pianode: bad -mesh-migrate %q (want component:dest@virtualtime)", s)
+	}
+	comp, dest, ok = strings.Cut(spec, ":")
+	if !ok || comp == "" || dest == "" {
+		return "", "", 0, fmt.Errorf("pianode: bad -mesh-migrate %q (want component:dest@virtualtime)", s)
+	}
+	d, err := time.ParseDuration(atStr)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("pianode: bad -mesh-migrate time %q: %v", atStr, err)
+	}
+	return comp, dest, vtime.Time(d.Nanoseconds()), nil
 }
 
 // reportLine renders one structured run-report line from the node's

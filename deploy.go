@@ -8,6 +8,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/detail"
+	"repro/internal/graph"
 	"repro/internal/node"
 	"repro/internal/snapshot"
 	"repro/internal/timeline"
@@ -52,7 +53,11 @@ func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, erro
 	}
 	for _, sub := range v.Subsystems() {
 		if placement[sub] == nil {
-			return nil, fmt.Errorf("pia: subsystem %q has no node in the placement", sub)
+			e := &graph.UnknownHostError{Host: sub}
+			if comps := v.Components(sub); len(comps) > 0 {
+				e.Component = comps[0]
+			}
+			return nil, e
 		}
 	}
 

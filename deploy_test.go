@@ -1,7 +1,10 @@
 package pia
 
 import (
+	"errors"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestBuildOnNodesTwoNodes(t *testing.T) {
@@ -60,7 +63,17 @@ func TestBuildOnNodesMissingPlacement(t *testing.T) {
 		AddComponent("b", "s2", &pongState{}, "in").
 		AddNet("w", 0, "a.out", "b.in")
 	n := NewNode("n")
-	if _, err := b.BuildOnNodes(map[string]*Node{"s1": n}); err == nil {
+	_, err := b.BuildOnNodes(map[string]*Node{"s1": n})
+	if err == nil {
 		t.Fatal("incomplete placement accepted")
+	}
+	// The failure is typed and names the first offending component
+	// and the host the deployment does not know.
+	var uh *graph.UnknownHostError
+	if !errors.As(err, &uh) {
+		t.Fatalf("want *graph.UnknownHostError, got %T: %v", err, err)
+	}
+	if uh.Host != "s2" || uh.Component != "b" {
+		t.Fatalf("error blames %q on %q, want component \"b\" on host \"s2\"", uh.Component, uh.Host)
 	}
 }

@@ -431,6 +431,11 @@ type Endpoint struct {
 	stragglerFn    func(t vtime.Time) bool
 	tl             *timeline.Recorder // nil unless EnableTimeline wired it
 
+	// binds tracks the nets this endpoint bridges: local net name ->
+	// remote fragment name. Migration re-homes nets by unbinding here
+	// and rebinding on another endpoint under the new placement epoch.
+	binds map[string]string
+
 	// Egress coalescing. Messages are appended to pendingOut under
 	// ep.mu in nextOut order, so the queue is the seq order; flush
 	// extracts the whole queue and hands it to the transport under
@@ -625,7 +630,48 @@ func (ep *Endpoint) BindNet(localNet *core.Net, remoteNet string) error {
 	_, err := ep.sub.AttachHidden(localNet, name, ep.Name(), func(m core.Msg) {
 		ep.egress(remoteNet, m)
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	ep.mu.Lock()
+	if ep.binds == nil {
+		ep.binds = make(map[string]string)
+	}
+	ep.binds[localNet.Name] = remoteNet
+	ep.mu.Unlock()
+	return nil
+}
+
+// UnbindNet removes the hidden port BindNet added for the given local
+// net, so drives on it stop crossing this channel. Only legal between
+// runs (the mesh splice step). The endpoint itself stays up — an empty
+// channel still exchanges safe-time traffic.
+func (ep *Endpoint) UnbindNet(localNet *core.Net) error {
+	ep.mu.Lock()
+	_, bound := ep.binds[localNet.Name]
+	ep.mu.Unlock()
+	if !bound {
+		return fmt.Errorf("channel: %s does not bind net %s", ep.Name(), localNet.Name)
+	}
+	name := graph.HiddenPortName(localNet.Name, ep.peer)
+	if err := ep.sub.DetachHidden(localNet, name); err != nil {
+		return err
+	}
+	ep.mu.Lock()
+	delete(ep.binds, localNet.Name)
+	ep.mu.Unlock()
+	return nil
+}
+
+// Binds returns the local->remote net bindings this endpoint carries.
+func (ep *Endpoint) Binds() map[string]string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	out := make(map[string]string, len(ep.binds))
+	for k, v := range ep.binds {
+		out[k] = v
+	}
+	return out
 }
 
 // egress forwards a local net drive across the channel.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/event"
+	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
 
@@ -97,6 +98,12 @@ type Component struct {
 	// re-activated when an event lands in their inbox.
 	active  bool
 	planKey vtime.Time // key cached by the last scheduler scan
+
+	// mLag is the component's virtual-time lag gauge, created lazily
+	// on the scheduler goroutine (see Subsystem.sampleMetrics). Held
+	// here rather than in an order-indexed slice so it survives
+	// components being added or removed mid-run by live migration.
+	mLag *metrics.Gauge
 
 	// outLA is the component's output lookahead: the minimum
 	// propagation delay over every net its ports attach to (the

@@ -6,15 +6,16 @@ import (
 )
 
 // schedMetrics holds the push-side instruments the scheduler samples
-// once per loop iteration. They are preallocated at EnableMetrics
-// time (one lag gauge per component, in creation order) so the Run
-// loop does no map lookups or string work — just atomic stores behind
-// a single nil check.
+// once per loop iteration. Per-component lag gauges live on the
+// components themselves (created at EnableMetrics time, or lazily for
+// components added mid-run — live migration adopts and removes
+// components while the scheduler is between rounds), so the Run loop
+// does no map lookups or string work — just atomic stores behind a
+// single nil check.
 type schedMetrics struct {
 	reg      *metrics.Registry
-	runnable *metrics.Gauge   // components currently runnable
-	now      *metrics.Gauge   // published subsystem virtual time (ns)
-	lag      []*metrics.Gauge // per component, order-aligned: localTime − now
+	runnable *metrics.Gauge // components currently runnable
+	now      *metrics.Gauge // published subsystem virtual time (ns)
 }
 
 // EnableMetrics wires the subsystem into reg. Scheduler counters
@@ -37,9 +38,8 @@ func (s *Subsystem) EnableMetrics(reg *metrics.Registry) {
 		runnable: reg.Gauge(metrics.Label("pia_sched_runnable", "sub", s.name)),
 		now:      reg.Gauge(metrics.Label("pia_sched_now_ns", "sub", s.name)),
 	}
-	m.lag = make([]*metrics.Gauge, len(s.order))
-	for i, c := range s.order {
-		m.lag[i] = reg.Gauge(metrics.Label("pia_comp_lag_ns", "sub", s.name, "comp", c.name))
+	for _, c := range s.order {
+		c.mLag = reg.Gauge(metrics.Label("pia_comp_lag_ns", "sub", s.name, "comp", c.name))
 	}
 	name := s.name
 	reg.AddCollector(func(emit func(metrics.Sample)) {
@@ -69,18 +69,22 @@ func (s *Subsystem) EnableMetrics(reg *metrics.Registry) {
 
 // sampleMetrics publishes the per-round gauges. Runs on the scheduler
 // goroutine right after the runnable scan, where every component is
-// parked and local times are stable. The lag slice is order-aligned
-// with s.order; ReplaceBehavior keeps component identity, so the
-// alignment survives detail switches.
+// parked and local times are stable. Components created after
+// EnableMetrics (subsystems hosted before their fragment is built, or
+// adopted by live migration) get their gauge on first sample; a
+// removed component's gauge simply stops updating.
 func (s *Subsystem) sampleMetrics() {
 	m := s.mSched
 	m.runnable.Set(int64(len(s.active)))
 	m.now.Set(int64(s.now))
-	for i, c := range s.order {
+	for _, c := range s.order {
+		if c.mLag == nil {
+			c.mLag = m.reg.Gauge(metrics.Label("pia_comp_lag_ns", "sub", s.name, "comp", c.name))
+		}
 		lag := vtime.Duration(0)
 		if c.localTime > s.now {
 			lag = c.localTime.Sub(s.now)
 		}
-		m.lag[i].Set(int64(lag))
+		c.mLag.Set(int64(lag))
 	}
 }

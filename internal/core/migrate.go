@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// This file holds the subsystem surgery primitives live component
+// migration is built on: detaching hidden (channel) ports from nets,
+// removing a component wholesale, and restoring a single component
+// image captured on another subsystem. All of them are only legal
+// between runs — the mesh control plane calls them at a drained
+// step barrier, when no scheduler goroutine is inside Run and every
+// channel is provably empty.
+
+// DetachHidden removes the named hidden port from the net. It is the
+// inverse of AttachHidden, used when a net's channel binding moves to
+// another endpoint under a new placement epoch.
+func (s *Subsystem) DetachHidden(n *Net, name string) error {
+	if s.running {
+		return fmt.Errorf("core: cannot detach hidden port %q while running", name)
+	}
+	if n.sub != s {
+		return fmt.Errorf("core: net %s belongs to another subsystem", n.Name)
+	}
+	for _, p := range n.ports {
+		if p.hidden && p.Name == name {
+			n.detach(p)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: net %s has no hidden port %q", n.Name, name)
+}
+
+// RemoveComponent detaches the named component from every net, unwinds
+// its goroutine and removes it from the subsystem. Its pending inbox
+// events are discarded with it (a migration captures them in the
+// component image first). Only legal between runs.
+func (s *Subsystem) RemoveComponent(name string) error {
+	if s.running {
+		return fmt.Errorf("core: cannot remove component %q while running", name)
+	}
+	c := s.comps[name]
+	if c == nil {
+		return fmt.Errorf("core: no component %q", name)
+	}
+	s.kill(c)
+	c.status = statusDone
+	for _, p := range c.ports {
+		if p.net != nil {
+			p.net.detach(p)
+		}
+	}
+	delete(s.comps, name)
+	kept := s.order[:0]
+	for _, o := range s.order {
+		if o != c {
+			kept = append(kept, o)
+		}
+	}
+	s.order = kept
+	// Renumber so creation-order tie-breaks stay dense and unique:
+	// NewComponent assigns index = len(order), which must not collide
+	// with a surviving component's index.
+	for i, o := range s.order {
+		o.index = i
+	}
+	s.resetActive()
+	s.tracef("%s removed", name)
+	return nil
+}
+
+// RestoreComponentImage applies a single component image — captured by
+// CaptureNow on this or another subsystem — to an existing component.
+// The component must already have been created with the right
+// behaviour and ports; the image supplies behaviour state, local time,
+// runlevel, liveness, EOF flag, undelivered inbox events and memory
+// contents. The migration path uses it to adopt a component whose
+// image travelled from another node.
+func (s *Subsystem) RestoreComponentImage(img *Image) error {
+	if s.running {
+		return fmt.Errorf("core: cannot restore component %q while running", img.Component)
+	}
+	c := s.comps[img.Component]
+	if c == nil {
+		return fmt.Errorf("core: no component %q to restore into", img.Component)
+	}
+	s.kill(c)
+	if img.State != nil {
+		sv := c.saver()
+		if sv == nil {
+			return fmt.Errorf("core: restore of %s: behaviour does not implement StateSaver", c.name)
+		}
+		if err := sv.RestoreState(img.State); err != nil {
+			return fmt.Errorf("core: restore of %s: %w", c.name, err)
+		}
+	} else if img.Live {
+		return fmt.Errorf("core: restore of %s: %w", c.name, ErrNotCheckpointable)
+	}
+	c.localTime = img.LocalTime
+	c.runlevel = img.Runlevel
+	c.eofSignaled = img.EOF
+	c.err = nil
+	c.inbox.Reset()
+	for _, e := range img.Inbox {
+		c.inbox.PushStamped(e)
+	}
+	if img.Live {
+		c.status = statusNew
+		c.token = make(chan tokenMsg)
+	} else {
+		c.status = statusDone
+	}
+	c.recvPorts = nil
+	c.recvDeadline = vtime.Infinity
+	if c.memory != nil {
+		c.memory.restoreData(img.MemData)
+	}
+	s.resetActive()
+	s.tracef("%s adopted @%v (live=%v, inbox=%d)", c.name, c.localTime, img.Live, len(img.Inbox))
+	return nil
+}
+
+// LastDrive returns the net's most recent drive: value, drive time and
+// driving component. The migration path uses it to carry a re-homed
+// net fragment's sampling state to the destination subsystem.
+func (n *Net) LastDrive() (v any, t vtime.Time, src string) {
+	return n.lastValue, n.lastTime, n.lastSource
+}
+
+// RestoreLastDrive seeds the net's sampling state (LastValue et al.)
+// without fanning anything out. Used when a net fragment is recreated
+// on a migration destination.
+func (n *Net) RestoreLastDrive(v any, t vtime.Time, src string) {
+	n.lastValue, n.lastTime, n.lastSource = v, t, src
+}
+
+// AdvanceTo lifts the subsystem clock to t without executing anything.
+// Only legal between runs, and only forward. The mesh step barrier
+// uses it so a freshly adopted component lands on a subsystem whose
+// clock matches the migration horizon even when the destination's own
+// last event fell short of it.
+func (s *Subsystem) AdvanceTo(t vtime.Time) error {
+	if s.running {
+		return fmt.Errorf("core: cannot advance clock while running")
+	}
+	if t < s.now {
+		return fmt.Errorf("core: AdvanceTo(%v) would rewind past %v", t, s.now)
+	}
+	s.now = t
+	return nil
+}

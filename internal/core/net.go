@@ -86,6 +86,22 @@ func (n *Net) attach(p *Port) error {
 	return nil
 }
 
+// detach unwires a port from the net. Returns false when the port was
+// not attached here.
+func (n *Net) detach(p *Port) bool {
+	if p.net != n {
+		return false
+	}
+	for i, q := range n.ports {
+		if q == p {
+			n.ports = append(n.ports[:i], n.ports[i+1:]...)
+			p.net = nil
+			return true
+		}
+	}
+	return false
+}
+
 // String implements fmt.Stringer.
 func (n *Net) String() string {
 	return fmt.Sprintf("net(%s, %d ports, delay=%v)", n.Name, len(n.ports), n.Delay)

@@ -205,6 +205,22 @@ func (v *View) Partition() ([]Split, []ChannelSpec, error) {
 	return splits, specs, nil
 }
 
+// UnknownHostError reports a component assigned to a host (node or
+// subsystem placement target) the deployment does not know about. It
+// is returned at build time so a bad placement map fails fast, naming
+// the offender, instead of panicking at connect time.
+type UnknownHostError struct {
+	Component string // first affected component (sorted), "" if none
+	Host      string // the unknown host / placement target
+}
+
+func (e *UnknownHostError) Error() string {
+	if e.Component == "" {
+		return fmt.Sprintf("graph: placement names unknown host %q", e.Host)
+	}
+	return fmt.Sprintf("graph: component %q is assigned to unknown host %q", e.Component, e.Host)
+}
+
 // HiddenPortName names the hidden port added to a net fragment for
 // the channel toward the given peer subsystem.
 func HiddenPortName(net, peer string) string { return net + "$" + peer }

@@ -1,0 +1,177 @@
+// Local data-plane construction: each member compiles the shared
+// blueprint, instantiates only its own slice of the system, and
+// establishes the initial inter-member channels.
+package mesh
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/graph"
+)
+
+// viewState is a member's replica of the global placement: the graph
+// view, the flat component->member map, the channel specs derived
+// from the current epoch, and the dial work queued by an epoch
+// application for the dial phase.
+type viewState struct {
+	view      *graph.View
+	placement map[string]string
+	chanSpecs []graph.ChannelSpec
+
+	pendingDial   []string // peers I must dial new channels to
+	pendingAccept []string // peers that will dial me
+}
+
+// buildData builds the member's local fragment — components placed
+// here, net fragments touching them — and connects the initial
+// channels: for each channel spec the lexicographically smaller
+// member dials, the larger accepts, and both bind the crossing nets.
+func (m *Member) buildData() error {
+	view, err := m.bp.View()
+	if err != nil {
+		return err
+	}
+	splits, chans, err := view.Partition()
+	if err != nil {
+		return err
+	}
+	vs := &viewState{
+		view:      view,
+		placement: make(map[string]string, len(m.bp.Components)),
+		chanSpecs: chans,
+	}
+	for _, cs := range m.bp.Components {
+		vs.placement[cs.Name] = m.bp.Placement[cs.Name]
+	}
+
+	for _, cs := range m.bp.Components {
+		if vs.placement[cs.Name] != m.name {
+			continue
+		}
+		c, err := m.sub.NewComponent(cs.Name, cs.New())
+		if err != nil {
+			return err
+		}
+		for _, pn := range cs.Ports {
+			if _, err := c.AddPort(pn); err != nil {
+				return err
+			}
+		}
+	}
+	if err := m.buildNets(splits); err != nil {
+		return err
+	}
+
+	for _, cs := range chans {
+		switch m.name {
+		case cs.A: // smaller name: dial
+			ep, err := m.nd.Connect(m.name, m.ms.dataAddr(cs.B), cs.B, m.bp.Policy, m.bp.Link)
+			if err != nil {
+				return fmt.Errorf("mesh: %s: dial data channel to %s: %w", m.name, cs.B, err)
+			}
+			if err := m.bindChannel(ep, cs.Nets); err != nil {
+				return err
+			}
+		case cs.B: // larger name: accept
+			ep, err := m.acceptChannel(cs.A, m.cfg.ConnectTimeout)
+			if err != nil {
+				return err
+			}
+			if err := m.bindChannel(ep, cs.Nets); err != nil {
+				return err
+			}
+		}
+	}
+	m.nd.FinishAgents()
+	m.mu.Lock()
+	m.view = vs
+	m.mu.Unlock()
+	return nil
+}
+
+// buildNets realizes the net fragments this member hosts, creating
+// missing nets and connecting locally-placed component ports. It is
+// idempotent for nets and used both at build time and when an epoch
+// application homes a migrated component here.
+func (m *Member) buildNets(splits []graph.Split) error {
+	for _, sp := range splits {
+		frag := fragmentFor(sp, m.name)
+		if frag == nil {
+			continue
+		}
+		n := m.sub.Net(sp.Net)
+		if n == nil {
+			var err error
+			if n, err = m.sub.NewNet(sp.Net, sp.Delay); err != nil {
+				return err
+			}
+		}
+		for _, pr := range frag.Ports {
+			c := m.sub.Component(pr.Component)
+			if c == nil {
+				return fmt.Errorf("mesh: %s: net %s references missing local component %s",
+					m.name, sp.Net, pr.Component)
+			}
+			p := c.Port(pr.Port)
+			if p == nil {
+				return fmt.Errorf("mesh: %s: component %s has no port %s", m.name, pr.Component, pr.Port)
+			}
+			if p.Net() == n {
+				continue // already connected
+			}
+			if err := m.sub.Connect(n, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bindChannel binds the crossing nets on a fresh endpoint. Remote
+// fragments share the logical net's name, so the remote name equals
+// the local one.
+func (m *Member) bindChannel(ep *channel.Endpoint, nets []string) error {
+	for _, nn := range nets {
+		n := m.sub.Net(nn)
+		if n == nil {
+			return fmt.Errorf("mesh: %s: channel to %s binds unknown net %s", m.name, ep.Peer(), nn)
+		}
+		if err := ep.BindNet(n, nn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptChannel waits for the node's accept path to hand over an
+// endpoint from the given peer. The OnChannel hook fires on the
+// accept goroutine after the endpoint is fully registered and before
+// the handshake ack releases the dialer, so receiving the token here
+// both sequences the build and carries the happens-before the race
+// detector needs.
+func (m *Member) acceptChannel(peer string, timeout time.Duration) (*channel.Endpoint, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ep := <-m.accepted:
+			if ep.Peer() == peer {
+				return ep, nil
+			}
+			// A channel from another peer arrived first; park it back.
+			// Channel specs are processed in deterministic order on
+			// both sides, so this is rare and bounded.
+			select {
+			case m.accepted <- ep:
+			default:
+				return nil, fmt.Errorf("mesh: %s: accepted-channel overflow", m.name)
+			}
+			time.Sleep(time.Millisecond)
+		case <-deadline:
+			return nil, fmt.Errorf("mesh: %s: timed out waiting for channel from %s", m.name, peer)
+		case <-m.closed:
+			return nil, fmt.Errorf("mesh: %s closed", m.name)
+		}
+	}
+}

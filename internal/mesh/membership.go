@@ -1,0 +1,179 @@
+// Membership: the per-member table of peers, their control
+// connections, data-plane addresses, and heartbeat freshness.
+package mesh
+
+import (
+	"encoding/gob"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// peerConn is one control connection with gob framing. Writes are
+// serialized; reads happen on a single reader goroutine.
+type peerConn struct {
+	name string
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+func newPeerConn(name string, c net.Conn, enc *gob.Encoder, dec *gob.Decoder) *peerConn {
+	return &peerConn{name: name, c: c, enc: enc, dec: dec}
+}
+
+func (pc *peerConn) send(env envelope) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	return pc.enc.Encode(env)
+}
+
+func (pc *peerConn) close() { pc.c.Close() }
+
+// peerState is everything the membership table knows about one peer.
+type peerState struct {
+	name     string
+	conn     *peerConn
+	dataAddr string
+	lastHB   time.Time
+	joined   bool
+	left     bool
+}
+
+// membership tracks the full member set: self plus every peer.
+type membership struct {
+	mu      sync.Mutex
+	self    string
+	hbEvery time.Duration
+	peers   map[string]*peerState
+}
+
+func newMembership(self string, hbEvery time.Duration) *membership {
+	return &membership{self: self, hbEvery: hbEvery, peers: make(map[string]*peerState)}
+}
+
+// join registers a peer's established control connection.
+func (ms *membership) join(name string, pc *peerConn, dataAddr string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ps := ms.peers[name]
+	if ps == nil {
+		ps = &peerState{name: name}
+		ms.peers[name] = ps
+	}
+	ps.conn = pc
+	ps.dataAddr = dataAddr
+	ps.joined = true
+	ps.left = false
+	ps.lastHB = time.Now()
+}
+
+// note refreshes a peer's heartbeat; any control traffic counts.
+func (ms *membership) note(name string) {
+	ms.mu.Lock()
+	if ps := ms.peers[name]; ps != nil {
+		ps.lastHB = time.Now()
+	}
+	ms.mu.Unlock()
+}
+
+// markLeft records a graceful leave (or a dead connection).
+func (ms *membership) markLeft(name string) {
+	ms.mu.Lock()
+	if ps := ms.peers[name]; ps != nil {
+		ps.left = true
+	}
+	ms.mu.Unlock()
+}
+
+// conn returns the control connection toward a peer, or nil.
+func (ms *membership) conn(name string) *peerConn {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ps := ms.peers[name]; ps != nil {
+		return ps.conn
+	}
+	return nil
+}
+
+// dataAddr returns the peer's data-plane listen address.
+func (ms *membership) dataAddr(name string) string {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ps := ms.peers[name]; ps != nil {
+		return ps.dataAddr
+	}
+	return ""
+}
+
+// joinedCount reports how many peers have completed the handshake.
+func (ms *membership) joinedCount() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	n := 0
+	for _, ps := range ms.peers {
+		if ps.joined {
+			n++
+		}
+	}
+	return n
+}
+
+// PeerHealth is one row of a member's health report.
+type PeerHealth struct {
+	Name          string        `json:"name"`
+	Self          bool          `json:"self"`
+	Joined        bool          `json:"joined"`
+	Left          bool          `json:"left"`
+	LastHeartbeat time.Time     `json:"lastHeartbeat,omitzero"`
+	Age           time.Duration `json:"heartbeatAgeNs"`
+	Alive         bool          `json:"alive"`
+}
+
+// Health is a member's view of the mesh: per-peer membership and
+// heartbeat age, plus the quorum verdict. QuorumDead (alive*2 <=
+// total) is the only condition that makes /healthz report 503: a
+// member that merely lost one peer of a large mesh is degraded, not
+// dead.
+type Health struct {
+	Members    []PeerHealth `json:"members"`
+	Alive      int          `json:"alive"`
+	Total      int          `json:"total"`
+	QuorumDead bool         `json:"quorumDead"`
+}
+
+// health assembles the report. A peer is alive when it has joined,
+// has not left, and its last heartbeat is fresher than three
+// intervals.
+func (ms *membership) health() Health {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	now := time.Now()
+	stale := 3 * ms.hbEvery
+	h := Health{}
+	h.Members = append(h.Members, PeerHealth{Name: ms.self, Self: true, Joined: true, Alive: true})
+	h.Alive, h.Total = 1, 1
+	names := make([]string, 0, len(ms.peers))
+	for n := range ms.peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ps := ms.peers[n]
+		age := now.Sub(ps.lastHB)
+		alive := ps.joined && !ps.left && age < stale
+		h.Members = append(h.Members, PeerHealth{
+			Name: n, Joined: ps.joined, Left: ps.left,
+			LastHeartbeat: ps.lastHB, Age: age, Alive: alive,
+		})
+		h.Total++
+		if alive {
+			h.Alive++
+		}
+	}
+	h.QuorumDead = h.Alive*2 <= h.Total
+	sort.Slice(h.Members, func(i, j int) bool { return h.Members[i].Name < h.Members[j].Name })
+	return h
+}

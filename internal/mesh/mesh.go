@@ -1,0 +1,770 @@
+// Package mesh is the cluster control plane: it runs N pianodes as a
+// full mesh with join/leave membership, per-peer heartbeat health, a
+// replicated component->member placement map stamped with
+// leader-issued epochs, and live component migration on top of the
+// simulation layers below.
+//
+// # Roles
+//
+// Membership is a static peer list; the member with the
+// lexicographically smallest name is the leader. The leader drives
+// the run as lock-step rounds: it broadcasts a horizon, every member
+// runs its local subsystem to it, and members report per-peer channel
+// counters. A round's drain barrier holds when for every directed
+// pair X->Y the count X sent equals the count Y enqueued equals the
+// count Y absorbed — at that point every inter-member channel is
+// provably empty and virtual time t <= horizon is globally final. The
+// leader re-issues a round (cheap: re-entering Run at the same
+// horizon is idempotent) until the barrier holds, which also rides
+// out faultnet-induced retransmissions on the data plane.
+//
+// # Migration
+//
+// At a held barrier a local capture is a degenerate Chandy-Lamport
+// cut (no in-flight channel state exists to record), so migration is:
+// quiesce (the barrier itself) -> snapshot (extract the component
+// image at the source) -> transfer (ship image + digest state to the
+// destination inside the epoch broadcast) -> splice (every member
+// moves the component in its replica of the global view, re-derives
+// net splits, and rebinds channel endpoints; the destination rebuilds
+// the component from the shared blueprint and adopts the state) ->
+// resume (next round). Virtual time does not advance during any of
+// this, so migration downtime in simulated time is exactly zero.
+package mesh
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/timeline"
+	"repro/internal/vtime"
+)
+
+// Config describes one mesh member.
+type Config struct {
+	// Name is the member's (and its subsystem's) unique name.
+	Name string
+	// Blueprint is the shared system description. Must be identical
+	// on every member.
+	Blueprint *Blueprint
+	// Node optionally supplies a prebuilt node (so callers can
+	// SetFaults/SetResilience before any listener starts). Nil
+	// creates a plain node named after the member.
+	Node *node.Node
+	// CtlListen and DataListen are listen addresses; empty means an
+	// ephemeral loopback port.
+	CtlListen  string
+	DataListen string
+	// Heartbeat is the control-plane heartbeat interval (default
+	// 250ms). A peer is reported dead after three missed intervals.
+	Heartbeat time.Duration
+	// ConnectTimeout bounds mesh formation and data-channel dials
+	// (default 10s).
+	ConnectTimeout time.Duration
+	// StepTimeout bounds one coordination phase: a step round or a
+	// migration phase (default 60s).
+	StepTimeout time.Duration
+	// Timeline, when non-nil, receives the member's timeline events
+	// (and, on the leader, the migrate phase spans).
+	Timeline *timeline.Recorder
+	// NoDigest disables the per-component drive digest hook.
+	NoDigest bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.CtlListen == "" {
+		out.CtlListen = "127.0.0.1:0"
+	}
+	if out.DataListen == "" {
+		out.DataListen = "127.0.0.1:0"
+	}
+	if out.Heartbeat <= 0 {
+		out.Heartbeat = 250 * time.Millisecond
+	}
+	if out.ConnectTimeout <= 0 {
+		out.ConnectTimeout = 10 * time.Second
+	}
+	if out.StepTimeout <= 0 {
+		out.StepTimeout = 60 * time.Second
+	}
+	return out
+}
+
+// Stats counts control-plane activity on one member. Leader-only
+// fields are zero elsewhere.
+type Stats struct {
+	Rounds     int64 // barriers that held (leader)
+	Reissues   int64 // rounds re-issued because the barrier failed (leader)
+	Migrations int64 // migrations completed (leader)
+	Epoch      uint64
+	// EpochPropagation is the wall-clock time from the last epoch
+	// broadcast to its final ack (leader).
+	EpochPropagation time.Duration
+	// MigrationWall is the wall-clock span of the last migration,
+	// prepare order to final dial ack (leader).
+	MigrationWall time.Duration
+	// MigrationVirtual is the virtual-time downtime of the last
+	// migration: by construction zero, recorded to assert it.
+	MigrationVirtual vtime.Duration
+}
+
+type inboundEnv struct {
+	from string
+	env  envelope
+}
+
+type migPlan struct {
+	At   vtime.Time
+	Comp string
+	Dest string
+}
+
+// Member is one mesh participant: a node hosting one subsystem named
+// after the member, plus the control-plane machinery.
+type Member struct {
+	cfg    Config
+	name   string
+	nd     *node.Node
+	hosted *node.Hosted
+	sub    *core.Subsystem
+	hub    *channel.Hub
+
+	bp        *Blueprint
+	dataAddr  string
+	ctlLn     net.Listener
+	ctlAddr   string
+	ms        *membership
+	digest    *Digest
+	tl        *timeline.Recorder
+	epoch     atomic.Uint64
+	leaderNm  string
+	memberSet []string // all member names, sorted
+
+	inbox    chan inboundEnv
+	acks     chan inboundEnv
+	migReqs  chan migRequestMsg
+	accepted chan *channel.Endpoint
+
+	mu        sync.Mutex
+	view      *viewState // replicated placement (guarded by serve loop + mu for readers)
+	plans     []migPlan  // leader: scheduled migrations, by virtual time
+	stats     Stats
+	runErr    error
+	started   bool
+	runDone   chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	hbSeq     atomic.Uint64
+}
+
+// New creates a member: it builds the node, hosts the subsystem,
+// starts the control and data listeners, and installs the digest and
+// channel-accept hooks. Call Start to join the mesh.
+func New(cfg Config) (*Member, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("mesh: member needs a name")
+	}
+	if cfg.Blueprint == nil {
+		return nil, fmt.Errorf("mesh: member %s needs a blueprint", cfg.Name)
+	}
+	m := &Member{
+		cfg:      cfg,
+		name:     cfg.Name,
+		bp:       cfg.Blueprint,
+		tl:       cfg.Timeline,
+		inbox:    make(chan inboundEnv, 64),
+		acks:     make(chan inboundEnv, 256),
+		migReqs:  make(chan migRequestMsg, 16),
+		accepted: make(chan *channel.Endpoint, 16),
+		runDone:  make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	m.nd = cfg.Node
+	if m.nd == nil {
+		m.nd = node.New(cfg.Name)
+	}
+	if m.tl != nil {
+		m.nd.EnableTimeline(m.tl)
+	}
+	m.sub = core.NewSubsystem(cfg.Name)
+	m.hosted = m.nd.Host(m.sub)
+	m.hub = m.hosted.Hub
+	m.hosted.OnChannel = func(ep *channel.Endpoint) { m.accepted <- ep }
+	if !cfg.NoDigest {
+		m.digest = NewDigest()
+		m.digest.Install(m.sub)
+	}
+	dataAddr, err := m.nd.Listen(cfg.DataListen)
+	if err != nil {
+		return nil, fmt.Errorf("mesh: %s data listen: %w", cfg.Name, err)
+	}
+	m.dataAddr = dataAddr
+	ln, err := net.Listen("tcp", cfg.CtlListen)
+	if err != nil {
+		m.nd.Close()
+		return nil, fmt.Errorf("mesh: %s control listen: %w", cfg.Name, err)
+	}
+	m.ctlLn = ln
+	m.ctlAddr = ln.Addr().String()
+	m.ms = newMembership(cfg.Name, cfg.Heartbeat)
+	m.wg.Add(1)
+	go m.acceptCtl()
+	return m, nil
+}
+
+// CtlAddr returns the control-plane listen address.
+func (m *Member) CtlAddr() string { return m.ctlAddr }
+
+// DataAddr returns the data-plane listen address.
+func (m *Member) DataAddr() string { return m.dataAddr }
+
+// Name returns the member name.
+func (m *Member) Name() string { return m.name }
+
+// Subsystem exposes the hosted subsystem (for tests and tooling; do
+// not call Run on it — the mesh drives rounds).
+func (m *Member) Subsystem() *core.Subsystem { return m.sub }
+
+// Node exposes the hosting node.
+func (m *Member) Node() *node.Node { return m.nd }
+
+// Digests returns this member's per-component drive digests.
+func (m *Member) Digests() map[string]uint64 {
+	if m.digest == nil {
+		return nil
+	}
+	return m.digest.Snapshot()
+}
+
+// Health reports membership and heartbeat state.
+func (m *Member) Health() Health { return m.ms.health() }
+
+// Epoch returns the currently applied placement epoch.
+func (m *Member) Epoch() uint64 { return m.epoch.Load() }
+
+// IsLeader reports whether this member leads the mesh.
+func (m *Member) IsLeader() bool { return m.name == m.leaderNm }
+
+// Members returns all member names, sorted (valid after Start).
+func (m *Member) Members() []string { return append([]string(nil), m.memberSet...) }
+
+// Leader returns the leader's name (valid after Start).
+func (m *Member) Leader() string { return m.leaderNm }
+
+// Stats returns control-plane counters.
+func (m *Member) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Epoch = m.epoch.Load()
+	return s
+}
+
+// Placement returns the member's replica of the component->member
+// placement map at the current epoch.
+func (m *Member) Placement() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string)
+	if m.view != nil {
+		for c, s := range m.view.placement {
+			out[c] = s
+		}
+	}
+	return out
+}
+
+// Start joins the mesh: peers maps every member name (self included
+// or not) to its control address. Start connects the full control
+// mesh, exchanges data-plane addresses, builds the local slice of the
+// simulation, establishes the initial data channels, and reports
+// ready to the leader. It returns once this member is operational;
+// the leader then calls Lead and followers call Wait.
+func (m *Member) Start(peers map[string]string) error {
+	names := make([]string, 0, len(peers)+1)
+	seen := map[string]bool{m.name: true}
+	names = append(names, m.name)
+	for n := range peers {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	m.memberSet = names
+	m.leaderNm = names[0]
+	if err := m.bp.Validate(names); err != nil {
+		return err
+	}
+
+	// Connect the control mesh: the smaller name dials.
+	deadline := time.Now().Add(m.cfg.ConnectTimeout)
+	for _, peer := range names {
+		if peer <= m.name {
+			continue
+		}
+		if err := m.dialCtl(peer, peers[peer], deadline); err != nil {
+			return err
+		}
+	}
+	for m.ms.joinedCount() < len(names)-1 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("mesh: %s: mesh formation timed out (%d/%d peers)",
+				m.name, m.ms.joinedCount(), len(names)-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	m.wg.Add(2)
+	go m.serve()
+	go m.heartbeatLoop()
+
+	buildErr := m.buildData()
+	env := envelope{Ready: &readyMsg{}}
+	if buildErr != nil {
+		env.Ready.Err = buildErr.Error()
+	}
+	if err := m.send(m.leaderNm, env); err != nil && buildErr == nil {
+		buildErr = err
+	}
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
+	return buildErr
+}
+
+// dialCtl establishes the control connection to one peer, retrying
+// until the deadline so members may start in any order.
+func (m *Member) dialCtl(peer, addr string, deadline time.Time) error {
+	if addr == "" {
+		return fmt.Errorf("mesh: %s: no control address for peer %s", m.name, peer)
+	}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		enc, dec := gob.NewEncoder(c), gob.NewDecoder(c)
+		if err := enc.Encode(ctlHello{From: m.name, DataAddr: m.dataAddr}); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		var w ctlWelcome
+		if err := dec.Decode(&w); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		pc := newPeerConn(w.From, c, enc, dec)
+		m.ms.join(w.From, pc, w.DataAddr)
+		m.wg.Add(1)
+		go m.readLoop(pc)
+		return nil
+	}
+	return fmt.Errorf("mesh: %s: dial control %s (%s): %w", m.name, peer, addr, lastErr)
+}
+
+// acceptCtl accepts inbound control connections from smaller-named
+// peers.
+func (m *Member) acceptCtl() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ctlLn.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			enc, dec := gob.NewEncoder(c), gob.NewDecoder(c)
+			var h ctlHello
+			if err := dec.Decode(&h); err != nil {
+				c.Close()
+				return
+			}
+			if err := enc.Encode(ctlWelcome{From: m.name, DataAddr: m.dataAddr}); err != nil {
+				c.Close()
+				return
+			}
+			pc := newPeerConn(h.From, c, enc, dec)
+			m.ms.join(h.From, pc, h.DataAddr)
+			m.wg.Add(1)
+			go m.readLoop(pc)
+		}(c)
+	}
+}
+
+// readLoop drains one control connection, routing messages.
+func (m *Member) readLoop(pc *peerConn) {
+	defer m.wg.Done()
+	for {
+		var env envelope
+		if err := pc.dec.Decode(&env); err != nil {
+			select {
+			case <-m.closed:
+			default:
+				m.ms.markLeft(pc.name)
+			}
+			return
+		}
+		m.route(pc.name, env)
+	}
+}
+
+// route dispatches one inbound control message. Heartbeats update
+// membership inline; acks go to the leader's collector; everything
+// else is a directive for the member loop.
+func (m *Member) route(from string, env envelope) {
+	m.ms.note(from)
+	switch {
+	case env.Heartbeat != nil:
+		return
+	case env.Leave != nil:
+		m.ms.markLeft(from)
+		return
+	case env.MigRequest != nil:
+		if m.IsLeader() {
+			select {
+			case m.migReqs <- *env.MigRequest:
+			default:
+			}
+		}
+		return
+	case env.Ready != nil, env.StepDone != nil, env.MigPrepared != nil,
+		env.MigApplied != nil, env.MigDialed != nil, env.Finished != nil:
+		select {
+		case m.acks <- inboundEnv{from, env}:
+		case <-m.closed:
+		}
+	default:
+		select {
+		case m.inbox <- inboundEnv{from, env}:
+		case <-m.closed:
+		}
+	}
+}
+
+// send delivers a control message to a member; sends to self are
+// routed locally so the leader participates like any member.
+func (m *Member) send(to string, env envelope) error {
+	if to == m.name {
+		m.route(m.name, env)
+		return nil
+	}
+	pc := m.ms.conn(to)
+	if pc == nil {
+		return fmt.Errorf("mesh: %s: no control connection to %s", m.name, to)
+	}
+	return pc.send(env)
+}
+
+// broadcast sends to every member, self included.
+func (m *Member) broadcast(env envelope) error {
+	var first error
+	for _, name := range m.memberSet {
+		if err := m.send(name, env); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// heartbeatLoop keeps peers' membership tables warm.
+func (m *Member) heartbeatLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case <-t.C:
+			seq := m.hbSeq.Add(1)
+			for _, name := range m.memberSet {
+				if name == m.name {
+					continue
+				}
+				if pc := m.ms.conn(name); pc != nil {
+					pc.send(envelope{Heartbeat: &heartbeatMsg{Seq: seq}})
+				}
+			}
+		}
+	}
+}
+
+// serve is the member loop: the single goroutine that touches the
+// subsystem. Every Run call, every migration splice, and every
+// mid-run channel dial happens here, which both serializes them
+// logically and gives the race detector a visible happens-before
+// between channel acceptance and the next scheduler pass.
+func (m *Member) serve() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case in := <-m.inbox:
+			env := in.env
+			switch {
+			case env.StepGo != nil:
+				m.handleStep(env.StepGo)
+			case env.MigPrepare != nil:
+				m.handlePrepare(env.MigPrepare)
+			case env.MigApply != nil:
+				m.handleApply(env.MigApply)
+			case env.MigDial != nil:
+				m.handleDial(env.MigDial)
+			case env.Finish != nil:
+				m.send(m.leaderNm, envelope{Finished: &finishedMsg{}})
+				select {
+				case <-m.runDone:
+				default:
+					close(m.runDone)
+				}
+			}
+		}
+	}
+}
+
+// handleStep runs one round and reports channel counters.
+func (m *Member) handleStep(sg *stepGoMsg) {
+	done := &stepDoneMsg{
+		Round:   sg.Round,
+		Sent:    make(map[string]int64),
+		Queued:  make(map[string]int64),
+		Handled: make(map[string]int64),
+	}
+	if err := m.sub.Run(sg.Until); err != nil {
+		done.Err = err.Error()
+		m.setRunErr(err)
+	}
+	for _, ep := range m.hub.Endpoints() {
+		p := ep.Peer()
+		done.Sent[p] += ep.SentCount()
+		done.Queued[p] += ep.QueuedCount()
+		done.Handled[p] += ep.HandledCount()
+	}
+	m.send(m.leaderNm, envelope{StepDone: done})
+}
+
+func (m *Member) setRunErr(err error) {
+	m.mu.Lock()
+	if m.runErr == nil {
+		m.runErr = err
+	}
+	m.mu.Unlock()
+}
+
+// Wait blocks until the leader finishes the run (or the member is
+// closed) and returns the member's local run error, if any.
+func (m *Member) Wait() error {
+	select {
+	case <-m.runDone:
+	case <-m.closed:
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runErr
+}
+
+// MigrateAt schedules (on the leader) a live migration of comp to
+// dest at the first drained barrier whose horizon is >= at. Calls
+// before Lead are deterministic in virtual time: the same schedule
+// yields the same cut on every run.
+func (m *Member) MigrateAt(at vtime.Time, comp, dest string) error {
+	if !m.IsLeader() {
+		return fmt.Errorf("mesh: MigrateAt on non-leader %s", m.name)
+	}
+	m.mu.Lock()
+	m.plans = append(m.plans, migPlan{At: at, Comp: comp, Dest: dest})
+	sort.SliceStable(m.plans, func(i, j int) bool { return m.plans[i].At < m.plans[j].At })
+	m.mu.Unlock()
+	return nil
+}
+
+// RequestMigration asks the leader (from any member) to migrate comp
+// to dest at the next drained barrier.
+func (m *Member) RequestMigration(comp, dest string) error {
+	return m.send(m.leaderNm, envelope{MigRequest: &migRequestMsg{Comp: comp, Dest: dest}})
+}
+
+// Lead drives the whole run from the leader: lock-step rounds of
+// size step up to until, executing scheduled and requested
+// migrations at drained barriers. It returns when every member has
+// finished (or on the first error).
+func (m *Member) Lead(until vtime.Time, step vtime.Duration) error {
+	if !m.IsLeader() {
+		return fmt.Errorf("mesh: Lead called on non-leader %s (leader is %s)", m.name, m.leaderNm)
+	}
+	if step <= 0 {
+		return fmt.Errorf("mesh: non-positive step %v", step)
+	}
+	if err := m.collectReady(); err != nil {
+		m.finishRun()
+		return err
+	}
+	var (
+		t     vtime.Time
+		round uint64
+	)
+	for t < until {
+		h := vtime.Min(t.Add(step), until)
+		round++
+		if err := m.broadcast(envelope{StepGo: &stepGoMsg{Round: round, Until: h, Epoch: m.epoch.Load()}}); err != nil {
+			m.finishRun()
+			return err
+		}
+		reports, err := m.collectStep(round)
+		if err != nil {
+			m.finishRun()
+			return err
+		}
+		if !barrierHolds(reports) {
+			m.mu.Lock()
+			m.stats.Reissues++
+			m.mu.Unlock()
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		m.mu.Lock()
+		m.stats.Rounds++
+		m.mu.Unlock()
+		t = h
+		if err := m.runMigrations(t); err != nil {
+			m.finishRun()
+			return err
+		}
+	}
+	return m.finishRun()
+}
+
+// collectReady waits for every member's build report.
+func (m *Member) collectReady() error {
+	got := map[string]bool{}
+	for len(got) < len(m.memberSet) {
+		in, err := m.nextAck()
+		if err != nil {
+			return err
+		}
+		if in.env.Ready == nil {
+			continue // stale ack from a previous phase
+		}
+		if in.env.Ready.Err != "" {
+			return fmt.Errorf("mesh: member %s failed to build: %s", in.from, in.env.Ready.Err)
+		}
+		got[in.from] = true
+	}
+	return nil
+}
+
+// collectStep gathers the current round's reports from all members.
+func (m *Member) collectStep(round uint64) (map[string]*stepDoneMsg, error) {
+	reports := make(map[string]*stepDoneMsg)
+	for len(reports) < len(m.memberSet) {
+		in, err := m.nextAck()
+		if err != nil {
+			return nil, err
+		}
+		sd := in.env.StepDone
+		if sd == nil || sd.Round != round {
+			continue // stale report from a re-issued round
+		}
+		if sd.Err != "" {
+			return nil, fmt.Errorf("mesh: member %s round %d: %s", in.from, round, sd.Err)
+		}
+		reports[in.from] = sd
+	}
+	return reports, nil
+}
+
+// nextAck reads one ack with the phase timeout.
+func (m *Member) nextAck() (inboundEnv, error) {
+	select {
+	case in := <-m.acks:
+		return in, nil
+	case <-m.closed:
+		return inboundEnv{}, fmt.Errorf("mesh: %s closed while coordinating", m.name)
+	case <-time.After(m.cfg.StepTimeout):
+		return inboundEnv{}, fmt.Errorf("mesh: %s: coordination timed out after %v", m.name, m.cfg.StepTimeout)
+	}
+}
+
+// barrierHolds checks the drain condition over all members' reports:
+// for every directed pair X->Y, X.Sent[Y] == Y.Queued[X] ==
+// Y.Handled[X]. Counters are cumulative, so equality means nothing
+// is in flight or queued anywhere.
+func barrierHolds(reports map[string]*stepDoneMsg) bool {
+	for x, rx := range reports {
+		for y, sent := range rx.Sent {
+			ry := reports[y]
+			if ry == nil {
+				return false
+			}
+			if ry.Queued[x] != sent || ry.Handled[x] != sent {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishRun tells every member the run is over and collects acks.
+func (m *Member) finishRun() error {
+	if err := m.broadcast(envelope{Finish: &finishMsg{}}); err != nil {
+		return err
+	}
+	got := map[string]bool{}
+	for len(got) < len(m.memberSet) {
+		in, err := m.nextAck()
+		if err != nil {
+			return err
+		}
+		if in.env.Finished == nil {
+			continue
+		}
+		got[in.from] = true
+	}
+	m.mu.Lock()
+	err := m.runErr
+	m.mu.Unlock()
+	return err
+}
+
+// Close leaves the mesh and tears down listeners, connections and
+// the node.
+func (m *Member) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		for _, name := range m.memberSet {
+			if name == m.name {
+				continue
+			}
+			if pc := m.ms.conn(name); pc != nil {
+				pc.send(envelope{Leave: &leaveMsg{}})
+			}
+		}
+		close(m.closed)
+		m.ctlLn.Close()
+		for _, name := range m.memberSet {
+			if pc := m.ms.conn(name); pc != nil {
+				pc.close()
+			}
+		}
+		err = m.nd.Close()
+		m.wg.Wait()
+	})
+	return err
+}

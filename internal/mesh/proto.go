@@ -1,0 +1,148 @@
+// Control-plane wire protocol. Members speak gob over dedicated TCP
+// connections, one per unordered member pair (the lexicographically
+// smaller name dials). The control plane is deliberately NOT routed
+// through the data-plane wire layer: membership and migration
+// coordination must stay reachable while faultnet is mangling the
+// data links, exactly like a management network in a real cluster.
+package mesh
+
+import (
+	"repro/internal/vtime"
+)
+
+// ctlHello opens a control connection (sent by the dialer).
+// DataAddr is the sender's data-plane listen address, which peers
+// need later to dial simulation channels toward it.
+type ctlHello struct {
+	From     string
+	DataAddr string
+}
+
+// ctlWelcome acknowledges a hello (sent by the acceptor).
+type ctlWelcome struct {
+	From     string
+	DataAddr string
+}
+
+// envelope is the single framed type exchanged after the handshake.
+// Exactly one field is non-nil. A struct-of-pointers union keeps the
+// stream self-describing without gob interface registration.
+type envelope struct {
+	Heartbeat  *heartbeatMsg
+	Ready      *readyMsg
+	StepGo     *stepGoMsg
+	StepDone   *stepDoneMsg
+	MigRequest *migRequestMsg
+	MigPrepare *migPrepareMsg
+	MigPrepared *migPreparedMsg
+	MigApply   *migApplyMsg
+	MigApplied *migAppliedMsg
+	MigDial    *migDialMsg
+	MigDialed  *migDialedMsg
+	Finish     *finishMsg
+	Finished   *finishedMsg
+	Leave      *leaveMsg
+}
+
+// heartbeatMsg keeps the membership table warm. Any control traffic
+// counts as a heartbeat; this one flows when nothing else does.
+type heartbeatMsg struct {
+	Seq uint64
+}
+
+// readyMsg reports that a member finished building its local plane
+// (components, nets, data channels) and can accept step rounds.
+type readyMsg struct {
+	Err string
+}
+
+// stepGoMsg orders one lock-step round: run the local subsystem to
+// the horizon, then report counters. The leader re-issues with a
+// fresh Round number until the drain barrier holds.
+type stepGoMsg struct {
+	Round uint64
+	Until vtime.Time
+	Epoch uint64
+}
+
+// stepDoneMsg reports per-peer channel counters after a round. The
+// barrier holds when, for every directed pair X->Y, X's Sent[Y]
+// equals Y's Queued[X] equals Y's Handled[X]: every message sent has
+// been received AND absorbed into the destination subsystem, so all
+// channels are provably empty.
+type stepDoneMsg struct {
+	Round   uint64
+	Sent    map[string]int64 // peer -> messages we sent toward it
+	Queued  map[string]int64 // peer -> messages we enqueued from it
+	Handled map[string]int64 // peer -> messages we absorbed from it
+	Err     string
+}
+
+// migRequestMsg asks the leader to migrate a component. Any member
+// (or an admin endpoint on any member) may send it; the leader
+// executes at the next drained barrier.
+type migRequestMsg struct {
+	Comp string
+	Dest string
+}
+
+// migPrepareMsg orders the source member to extract the component
+// image at the held barrier.
+type migPrepareMsg struct {
+	Epoch uint64
+	Comp  string
+	Dest  string
+}
+
+// migPreparedMsg returns the encoded snapshot.ComponentImage plus the
+// component's running drive-digest state, which must move with it so
+// the digest stream stays continuous across homes.
+type migPreparedMsg struct {
+	Epoch  uint64
+	Image  []byte
+	Digest uint64
+	Err    string
+}
+
+// migApplyMsg broadcasts the new placement epoch. Every member
+// re-derives its net splits from the moved global view and splices
+// channel bindings; Image is non-empty only toward the destination.
+type migApplyMsg struct {
+	Epoch  uint64
+	Comp   string
+	From   string
+	To     string
+	Image  []byte
+	Digest uint64
+}
+
+// migAppliedMsg acks an epoch application.
+type migAppliedMsg struct {
+	Epoch uint64
+	Err   string
+}
+
+// migDialMsg orders members to establish any data channels the new
+// placement requires that did not exist before. It is a separate
+// phase so every member has already applied the epoch (and therefore
+// knows its bindings) before any new connection handshake begins.
+type migDialMsg struct {
+	Epoch uint64
+}
+
+// migDialedMsg acks the dial phase.
+type migDialedMsg struct {
+	Epoch uint64
+	Err   string
+}
+
+// finishMsg ends the run: no more rounds will be issued.
+type finishMsg struct{}
+
+// finishedMsg acks a finish.
+type finishedMsg struct {
+	Err string
+}
+
+// leaveMsg announces a graceful departure from the mesh.
+type leaveMsg struct{}

@@ -1,0 +1,216 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// migSender drives one value per period on "out".
+type migSender struct {
+	Next, Count int
+	Period      vtime.Duration
+}
+
+func (s *migSender) Run(p *core.Proc) error {
+	for s.Next < s.Count {
+		p.DelayUntil(vtime.Time(int64(s.Next+1) * int64(s.Period)))
+		p.Send("out", s.Next)
+		s.Next++
+	}
+	return nil
+}
+
+func (s *migSender) SaveState() ([]byte, error)  { return core.GobSave(s) }
+func (s *migSender) RestoreState(b []byte) error { return core.GobRestore(s, b) }
+
+// migReceiver records each delivery with its exact receive time.
+type migReceiver struct {
+	Got   []int
+	Times []vtime.Time
+}
+
+func (r *migReceiver) Run(p *core.Proc) error {
+	for {
+		m, ok := p.Recv("in")
+		if !ok {
+			return nil
+		}
+		r.Got = append(r.Got, m.Value.(int))
+		r.Times = append(r.Times, p.Time())
+	}
+}
+
+func (r *migReceiver) SaveState() ([]byte, error)  { return core.GobSave(r) }
+func (r *migReceiver) RestoreState(b []byte) error { return core.GobRestore(r, b) }
+
+// buildMigPair wires sender->net("wire", delay)->receiver on a fresh
+// subsystem and returns it with the receiver behaviour.
+func buildMigPair(t *testing.T, name string, count int, delay vtime.Duration) (*core.Subsystem, *migReceiver) {
+	t.Helper()
+	s := core.NewSubsystem(name)
+	snd := &migSender{Count: count, Period: 10}
+	rcv := &migReceiver{}
+	sc, err := s.NewComponent("src", snd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.AddPort("out"); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := s.NewComponent("dst", rcv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.AddPort("in"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.NewNet("wire", delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(n, sc.Port("out"), rc.Port("in")); err != nil {
+		t.Fatal(err)
+	}
+	return s, rcv
+}
+
+// TestAdoptIntoDifferentSubsystem captures a component on one
+// subsystem and restores it into a separately built instance: the
+// cross-node transfer path of live migration, minus the wire.
+func TestAdoptIntoDifferentSubsystem(t *testing.T) {
+	src, _ := buildMigPair(t, "origin", 8, 3)
+	// Run to a horizon where dst has seen some values.
+	if err := src.Run(45); err != nil {
+		t.Fatalf("source run: %v", err)
+	}
+	ci, err := ExtractComponent(src, "mig-test", "dst")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	b, err := ci.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	ci2, err := DecodeComponentImage(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// The destination is a different Subsystem instance with its own
+	// sender, pre-advanced to the same horizon so the adopted
+	// component resumes in a consistent timebase.
+	dstSub, dstRcv := buildMigPair(t, "destination", 8, 3)
+	if err := dstSub.Run(45); err != nil {
+		t.Fatalf("destination pre-run: %v", err)
+	}
+	if err := AdoptComponent(dstSub, ci2); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	if err := dstSub.Run(vtime.Infinity); err != nil {
+		t.Fatalf("destination run: %v", err)
+	}
+	if len(dstRcv.Got) != 8 {
+		t.Fatalf("adopted receiver saw %d values, want 8: %v", len(dstRcv.Got), dstRcv.Got)
+	}
+	for i, v := range dstRcv.Got {
+		if v != i {
+			t.Fatalf("adopted receiver values out of order: %v", dstRcv.Got)
+		}
+	}
+	for i, ts := range dstRcv.Times {
+		want := vtime.Time(int64(i+1)*10 + 3)
+		if ts != want {
+			t.Fatalf("delivery %d at %v, want %v (times %v)", i, ts, want, dstRcv.Times)
+		}
+	}
+}
+
+// TestAdoptWithStraddlingEvents makes the cut fall between a send
+// and its delivery: the receiver's pending inbox event has a
+// timestamp beyond the capture horizon, travels inside the image,
+// and must be delivered at its exact original virtual time in the
+// new subsystem.
+func TestAdoptWithStraddlingEvents(t *testing.T) {
+	// Period 10, net delay 7: the value sent at t=40 is delivered at
+	// t=47, so capturing at the Run(40) exit catches it in flight —
+	// absorbed into dst's inbox but not yet delivered.
+	src, srcRcv := buildMigPair(t, "origin", 8, 7)
+	if err := src.Run(40); err != nil {
+		t.Fatalf("source run: %v", err)
+	}
+	if got := len(srcRcv.Got); got != 3 {
+		t.Fatalf("precondition: source receiver saw %d values before the cut, want 3", got)
+	}
+	ci, err := ExtractComponent(src, "straddle", "dst")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	straddlers := 0
+	for _, e := range ci.Inbox {
+		if e.Time > 40 {
+			straddlers++
+		}
+	}
+	if straddlers == 0 {
+		t.Fatalf("precondition: no straddling event in the image (inbox %+v)", ci.Inbox)
+	}
+
+	dstSub, dstRcv := buildMigPair(t, "destination", 8, 7)
+	if err := dstSub.Run(40); err != nil {
+		t.Fatalf("destination pre-run: %v", err)
+	}
+	if err := AdoptComponent(dstSub, ci); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	if err := dstSub.Run(vtime.Infinity); err != nil {
+		t.Fatalf("destination run: %v", err)
+	}
+	if len(dstRcv.Got) != 8 {
+		t.Fatalf("adopted receiver saw %d values, want 8: %v", len(dstRcv.Got), dstRcv.Got)
+	}
+	for i, ts := range dstRcv.Times {
+		want := vtime.Time(int64(i+1)*10 + 7)
+		if ts != want {
+			t.Fatalf("delivery %d at %v, want %v (straddler timing lost)", i, ts, want)
+		}
+	}
+}
+
+// TestExtractRefusesLiveWithoutSaver documents the failure mode: a
+// live component with no StateSaver cannot be captured, so it cannot
+// migrate.
+type saverless struct{}
+
+func (saverless) Run(p *core.Proc) error {
+	for {
+		if _, ok := p.Recv("in"); !ok {
+			return nil
+		}
+	}
+}
+
+func TestExtractRefusesLiveWithoutSaver(t *testing.T) {
+	s := core.NewSubsystem("bare")
+	c, err := s.NewComponent("opaque", saverless{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddPort("in"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.NewNet("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(n, c.Port("in")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractComponent(s, "nope", "opaque"); err == nil {
+		t.Fatal("extracting a live saverless component must fail")
+	}
+}

@@ -104,6 +104,12 @@ func (a *Agent) attach(ep *channel.Endpoint) {
 	e.SetRestoreHandler(func(token string) { a.execRestore(token) })
 }
 
+// Attach wires the agent's mark and restore handlers onto an endpoint
+// created after the agent was (a mesh channel dialed mid-run under a
+// new placement epoch). Idempotent: attaching the same endpoint twice
+// just replaces the handlers with equivalent ones.
+func (a *Agent) Attach(ep *channel.Endpoint) { a.attach(ep) }
+
 // UseSnapshotsForRollback makes optimistic stragglers rewind to this
 // subsystem's portion of the latest completed coordinated snapshot at
 // or before the straggler time, replaying the in-flight messages the

@@ -24,6 +24,7 @@ func TestDisabledTimelineZeroAlloc(t *testing.T) {
 		rec.Checkpoint("sub", "tag", tick)
 		rec.Restore("sub", "tag", tick)
 		rec.Runlevel("sub", "comp", "wordLevel", tick)
+		rec.Migrate("sub", "comp", "a", "b", "splice", tick)
 		rec.Stall("sub", tick, tick+1)
 		rec.Resume("sub", tick)
 		rec.Ask("a", "b", tick)

@@ -132,6 +132,8 @@ func eventName(e *Event) string {
 		return "rewind"
 	case KindRunlevel:
 		return "runlevel " + e.Comp + "=" + e.Detail
+	case KindMigrate:
+		return "migrate " + e.Comp + " " + e.Detail + " " + e.From + ">" + e.To
 	case KindStall:
 		return "stall"
 	case KindResume:

@@ -34,8 +34,8 @@ type Kind uint8
 
 const (
 	// Canonical kinds: deterministic in the committed view of a
-	// conservative run. Keep KindRunlevel last in this block —
-	// Canonical() tests k <= KindRunlevel.
+	// conservative run. Keep KindMigrate last in this block —
+	// Canonical() tests k <= KindMigrate.
 	KindDrive      Kind = iota // a component drove a net
 	KindSend                   // committed cross-subsystem data send
 	KindDeliver                // committed cross-subsystem data delivery
@@ -43,6 +43,7 @@ const (
 	KindRestore                // checkpoint restored
 	KindRewind                 // discarded-future window after a restore
 	KindRunlevel               // detail-level switch on a component
+	KindMigrate                // live migration phase (quiesce … resume)
 
 	// Transient kinds: wall-clock-timing-dependent mechanics,
 	// excluded from canonical exports.
@@ -57,8 +58,8 @@ const (
 
 var kindNames = [...]string{
 	"drive", "send", "deliver", "checkpoint", "restore", "rewind",
-	"runlevel", "stall", "resume", "ask", "grant", "straggler",
-	"fault", "session",
+	"runlevel", "migrate", "stall", "resume", "ask", "grant",
+	"straggler", "fault", "session",
 }
 
 func (k Kind) String() string {
@@ -70,7 +71,7 @@ func (k Kind) String() string {
 
 // Canonical reports whether events of this kind belong to the
 // committed, reproducible history of a run.
-func (k Kind) Canonical() bool { return k <= KindRunlevel }
+func (k Kind) Canonical() bool { return k <= KindMigrate }
 
 // Event is one timeline record. VT is the primary clock; Wall is
 // advisory (it never participates in canonical ordering or canonical
@@ -285,6 +286,19 @@ func (r *Recorder) Restore(sub, tag string, t vtime.Time) {
 	r.recordLocked(Event{Kind: KindRestore, Sub: sub, VT: t, Detail: tag})
 	r.hw[sub] = t
 	r.mu.Unlock()
+}
+
+// Migrate records one phase of a live component migration (phase:
+// quiesce, snapshot, transfer, splice, resume) of comp from subsystem
+// `from` to subsystem `to`, cut at virtual time t. The five phases of
+// one migration share the same VT — the drained barrier the handoff
+// happened at — so a merged trace shows them as a tight span at the
+// cut.
+func (r *Recorder) Migrate(sub, comp, from, to, phase string, t vtime.Time) {
+	if r == nil {
+		return
+	}
+	r.record(Event{Kind: KindMigrate, Sub: sub, Comp: comp, From: from, To: to, VT: t, Detail: phase})
 }
 
 // Runlevel records a detail-level switch of comp to level at t.

@@ -26,6 +26,7 @@ func TestNilRecorderSafe(t *testing.T) {
 	r.Straggler("a", "b", "n", 1, 2)
 	r.Fault("l", "drop", 3)
 	r.SessionEvent("sess", "resume", "")
+	r.Migrate("s", "c", "a", "b", "quiesce", 1)
 	r.SetNode("x")
 	if r.Len() != 0 || r.Events() != nil || r.NodeName() != "" {
 		t.Fatal("nil recorder must be inert")
@@ -279,5 +280,30 @@ func TestLogfmt(t *testing.T) {
 	}
 	if strings.Contains(canon.String(), "stall") || strings.Contains(canon.String(), "wall=") {
 		t.Fatalf("canonical logfmt leaked transient/wall fields:\n%s", canon.String())
+	}
+}
+
+// TestMigrateCanonical pins the migrate span kind: it is part of the
+// canonical (reproducible) set, survives Canonical filtering, and
+// names its phases in the exported event title.
+func TestMigrateCanonical(t *testing.T) {
+	r := NewRecorder(16)
+	for _, phase := range []string{"quiesce", "snapshot", "transfer", "splice", "resume"} {
+		r.Migrate("alpha", "hot", "alpha", "bravo", phase, 100)
+	}
+	evs := Canonical(r.Events())
+	if len(evs) != 5 {
+		t.Fatalf("migrate events dropped by Canonical: %d of 5 kept", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != KindMigrate || !e.Kind.Canonical() {
+			t.Fatalf("migrate event has non-canonical kind %v", e.Kind)
+		}
+		if e.From != "alpha" || e.To != "bravo" || e.VT != 100 {
+			t.Fatalf("migrate event lost fields: %+v", e)
+		}
+	}
+	if got := eventName(&evs[3]); got != "migrate hot splice alpha>bravo" {
+		t.Fatalf("export name = %q", got)
 	}
 }
