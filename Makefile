@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate
+.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire optimistic fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate bench-optimistic
 
-ci: vet build test race race-core chaos mesh metrics timeline wire bench-smoke
+ci: vet build test race race-core chaos mesh metrics timeline wire optimistic bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +78,19 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBatch -fuzztime=3s ./internal/channel/
 	$(GO) test -run=^$$ -fuzz=FuzzBatchRoundTrip -fuzztime=3s ./internal/channel/
 
+# The Time Warp gate: the three-way equivalence matrix (sequential x
+# conservative x optimistic over 50 random topologies, every worker
+# count and window bit-identical), the straggler storm (a topology
+# built so every speculative round rolls back, exactly converging
+# anyway) and the ablation's structural invariants, all under the race
+# detector, plus the guards that the disabled paths — straggler span
+# emission and inbox truncation — stay at 0 allocs/op.
+optimistic:
+	$(GO) test -race -count=1 -run 'TestParallelEquivalenceProperty|TestOptimisticStragglerStorm|TestOptimisticThrottleAdapts' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestOptimistic' ./internal/experiments/
+	$(GO) test -count=1 -run 'TestDisabledTimelineZeroAlloc' ./internal/timeline/
+	$(GO) test -count=1 -run 'TestDiscardAfterNoopZeroAlloc' ./internal/event/
+
 # The wire-codec ablation: coalesced remote legs, gob fallback vs
 # zero-copy binary, with codec allocs/op — the BENCH_3 artifact.
 bench-wire:
@@ -101,6 +114,12 @@ bench-parallel:
 # migration and epoch-propagation costs — the BENCH_4 artifact.
 bench-migrate:
 	$(GO) run ./cmd/piabench -exp migrate -json BENCH_4.json
+
+# The Time Warp ablation: lookahead x mode x workers; piabench exits
+# non-zero if any leg's drive digest deviates from the sequential
+# reference — the BENCH_5 artifact.
+bench-optimistic:
+	$(GO) run ./cmd/piabench -exp optimistic -json BENCH_5.json
 
 bench: bench-parallel
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

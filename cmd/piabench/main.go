@@ -49,6 +49,10 @@ var timelineOut string
 // that honours it (table1 and the parallel sweep's Table 1 legs).
 var benchWorkers int
 
+// benchOptimism, when > 0, overrides the Time Warp window (virtual
+// ns) of the optimistic ablation's speculative legs.
+var benchOptimism int64
+
 // reportEvery, when > 0, prints one structured run-report line at
 // that interval while a metrics-wired experiment leg is running.
 var reportEvery time.Duration
@@ -99,12 +103,13 @@ func startReporter() {
 }
 
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, migrate, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, optimistic, migrate, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	wireGob := flag.Bool("wire-gob", false, "force the gob fallback wire codec on every batch entry (the pre-zero-copy format)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
 	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
 	flag.Int64Var(&chaosSeed, "seed", 1, "fault-schedule seed for -exp chaos")
 	flag.IntVar(&benchWorkers, "workers", 0, "scheduler worker-pool size per subsystem (0 = sequential)")
+	flag.Int64Var(&benchOptimism, "optimism", 0, "override the Time Warp window in virtual ns for -exp optimistic (0 = experiment default)")
 	flag.DurationVar(&reportEvery, "report", 0, "print a structured run-report line at this interval while legs run (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
@@ -147,6 +152,7 @@ func main() {
 		"coalesce":    coalesce,
 		"wire":        wireExp,
 		"parallel":    parallel,
+		"optimistic":  optimisticExp,
 		"migrate":     migrateExp,
 		"fig1":        fig1,
 		"fig2":        fig2,
@@ -477,6 +483,105 @@ func writeParallelJSON(cfg experiments.ParallelConfig, rows []experiments.Parall
 			WallNS:     r.Wall.Nanoseconds(),
 			VirtualNS:  int64(r.Virt),
 			LinkDrives: r.Drives,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+	return nil
+}
+
+// optimisticExp runs the Time Warp ablation: lookahead (high, low,
+// zero probe-bus delay) crossed with scheduling mode (conservative vs
+// optimistic) and worker-pool size over a fan-out probe workload whose
+// services model wall-clock latency. Every leg must match its
+// lookahead's sequential reference bit-for-bit; the headline is the
+// optimistic-vs-conservative wall-clock ratio per leg — near 1x when
+// lookahead already fills the rounds, the worker count when it
+// doesn't.
+func optimisticExp(int) error {
+	cfg := experiments.DefaultOptimisticConfig()
+	if benchOptimism > 0 {
+		cfg.Window = vtime.Duration(benchOptimism)
+	}
+	fmt.Printf("Optimistic scheduler: %d probe services x %d batches, %v wall latency per job, window %dns\n\n",
+		cfg.Fanout, cfg.Rounds, cfg.Service, int64(cfg.Window))
+	rows, err := experiments.Optimistic(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "lookahead\tmode\tworkers\twall\tpar rounds\tspec rounds\tcommits\trollbacks\tcommit ratio\tspeedup\tvs conservative")
+	for _, r := range rows {
+		vs := ""
+		if r.VsCons > 0 {
+			vs = fmt.Sprintf("%.2fx", r.VsCons)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%d\t%d\t%d\t%d\t%.2f\t%.2fx\t%s\n",
+			r.Lookahead, r.Mode, r.Workers, r.Wall, r.ParRounds, r.SpecRounds,
+			r.SpecCommits, r.Rollbacks, r.CommitRatio, r.Speedup, vs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nresult invariant holds: virtual results identical across mode, workers and window")
+	return writeOptimisticJSON(cfg, rows)
+}
+
+// optimisticRow is the machine-readable form of one ablation leg.
+type optimisticRow struct {
+	Lookahead   string  `json:"lookahead"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	WallNS      int64   `json:"wall_ns"`
+	VirtualNS   int64   `json:"virtual_ns"`
+	Drives      int64   `json:"drives"`
+	ParRounds   int64   `json:"parallel_rounds"`
+	SpecRounds  int64   `json:"spec_rounds"`
+	SpecCommits int64   `json:"spec_commits"`
+	Rollbacks   int64   `json:"rollbacks"`
+	RolledBack  int64   `json:"rolled_back_events"`
+	CommitRatio float64 `json:"commit_ratio"`
+	Digest      string  `json:"drive_digest"`
+	Speedup     float64 `json:"speedup_vs_sequential"`
+	VsCons      float64 `json:"speedup_vs_conservative,omitempty"`
+}
+
+func writeOptimisticJSON(cfg experiments.OptimisticConfig, rows []experiments.OptimisticRow) error {
+	if jsonOut == "" {
+		return nil
+	}
+	out := struct {
+		Experiment string          `json:"experiment"`
+		Fanout     int             `json:"fanout"`
+		Rounds     int             `json:"rounds"`
+		ServiceNS  int64           `json:"service_ns"`
+		WindowNS   int64           `json:"window_ns"`
+		Rows       []optimisticRow `json:"rows"`
+	}{Experiment: "optimistic", Fanout: cfg.Fanout, Rounds: cfg.Rounds,
+		ServiceNS: cfg.Service.Nanoseconds(), WindowNS: int64(cfg.Window)}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, optimisticRow{
+			Lookahead:   r.Lookahead,
+			Mode:        r.Mode,
+			Workers:     r.Workers,
+			WallNS:      r.Wall.Nanoseconds(),
+			VirtualNS:   int64(r.Virt),
+			Drives:      r.Drives,
+			ParRounds:   r.ParRounds,
+			SpecRounds:  r.SpecRounds,
+			SpecCommits: r.SpecCommits,
+			Rollbacks:   r.Rollbacks,
+			RolledBack:  r.RolledBack,
+			CommitRatio: r.CommitRatio,
+			Digest:      fmt.Sprintf("%016x", r.Digest),
+			Speedup:     r.Speedup,
+			VsCons:      r.VsCons,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -46,6 +46,7 @@ func main() {
 	images := flag.Int("images", 4, "images embedded in the page")
 	verbose := flag.Bool("v", false, "log channel activity")
 	workers := flag.Int("workers", 0, "scheduler worker-pool size (0 = sequential; results are identical)")
+	optimism := flag.Int64("optimism", 0, "speculate this many virtual ns past the safe horizon when workers would idle (0 = conservative; results are identical)")
 	coalesce := flag.Bool("coalesce", false, "coalesce egress messages into batched wire frames")
 	coalesceMsgs := flag.Int("coalesce-msgs", channel.DefaultCoalesce.MaxMsgs, "flush a batch at this many queued messages")
 	coalesceBytes := flag.Int("coalesce-bytes", channel.DefaultCoalesce.MaxBytes, "flush a batch at this many queued payload bytes (0 = no byte budget)")
@@ -189,6 +190,9 @@ func main() {
 
 	sub := core.NewSubsystem("modemsite")
 	sub.SetWorkers(*workers)
+	if *optimism > 0 {
+		sub.SetOptimism(vtime.Duration(*optimism))
+	}
 	if _, err := wubbleu.InstallModemSite(sub, cfg); err != nil {
 		log.Fatal(err)
 	}

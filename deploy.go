@@ -77,6 +77,9 @@ func (b *SystemBuilder) BuildOnNodes(placement map[string]*Node) (*Cluster, erro
 		n := placement[subName]
 		s := core.NewSubsystem(subName)
 		s.SetWorkers(b.workers)
+		if b.optimism > 0 {
+			s.SetOptimism(b.optimism)
+		}
 		hosted := n.Host(s)
 		cl.Subsystems[subName] = s
 		cl.Hubs[subName] = hosted.Hub

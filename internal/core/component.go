@@ -130,6 +130,17 @@ type Component struct {
 	// sequential execution.
 	wbuf *workerBuf
 
+	// specImg is the lightweight pre-round image captured before a
+	// speculative (past-horizon) dispatch; valid only for the round
+	// that captured it. See optimistic.go.
+	specImg specImage
+
+	// Optimistic-merge scratch: the earliest in-round delivery
+	// destined to this component, valid only while specSeen matches
+	// the subsystem's detection generation (see detectStragglers).
+	specSeen     uint64
+	specMinDeliv vtime.Time
+
 	// recvPorts is the port filter of the Recv the component is
 	// parked in (nil = any port); recvDeadline bounds the wait.
 	recvPorts    map[string]bool
@@ -254,8 +265,20 @@ func (c *Component) nextDeliverable() (event.Event, bool) {
 }
 
 // popDeliverable removes and returns the event nextDeliverable would
-// return.
+// return. While the component runs speculatively (past the safe
+// horizon in an optimistic round), every pop is journaled so a
+// straggler rollback can push the consumed events back.
 func (c *Component) popDeliverable() (event.Event, bool) {
+	e, ok := c.popDeliverableRaw()
+	if ok {
+		if b := c.wbuf; b != nil && b.spec {
+			b.popped = append(b.popped, e)
+		}
+	}
+	return e, ok
+}
+
+func (c *Component) popDeliverableRaw() (event.Event, bool) {
 	if c.recvPorts == nil {
 		return c.inbox.Pop()
 	}

@@ -56,6 +56,11 @@ func (s *Subsystem) EnableMetrics(reg *metrics.Registry) {
 			{"pia_sched_restores", st.Restores},
 			{"pia_sched_par_rounds", st.ParRounds},
 			{"pia_sched_bytes_on_nets", st.BytesOnNets},
+			{"pia_optimistic_rounds", st.SpecRounds},
+			{"pia_optimistic_members", st.SpecMembers},
+			{"pia_optimistic_commits", st.SpecCommits},
+			{"pia_optimistic_rollbacks", st.Rollbacks},
+			{"pia_optimistic_rolled_back_events", st.RolledBack},
 		} {
 			emit(metrics.Sample{
 				Name:  metrics.Label(kv.metric, "sub", name),

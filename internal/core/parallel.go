@@ -42,6 +42,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/event"
 	"repro/internal/vtime"
 )
 
@@ -78,10 +79,24 @@ type parOp struct {
 	str  string
 }
 
-// workerBuf collects one round member's deferred side effects.
+// workerBuf collects one round member's deferred side effects, the
+// round-local stat counts, and — for speculative members — the
+// rollback journal and straggler bookkeeping (see optimistic.go).
 type workerBuf struct {
 	c   *Component
 	ops []parOp
+
+	// Buffered stats, folded in at merge time iff the member commits.
+	steps  int64
+	delivs int64
+
+	// Speculative (past-horizon) dispatch state.
+	spec    bool          // member runs past the safe horizon
+	aborted bool          // straggler detected: discard, restore, replay
+	inert   bool          // observed and emitted nothing: commits freely
+	expired bool          // a RecvDeadline expired: a negative observation
+	popped  []event.Event // inbox pops journaled for rollback re-push
+	postKey vtime.Time    // member's parked key after the round
 }
 
 func (b *workerBuf) push(op parOp) { b.ops = append(b.ops, op) }
@@ -179,40 +194,67 @@ func (s *Subsystem) stopPool() {
 // execute the step — when the round would hold fewer than two
 // components.
 func (s *Subsystem) runParallelRound(pi planInfo, until vtime.Time) bool {
-	H := pi.horizon
-	if H <= pi.key {
+	if s.optimism == 0 && pi.horizon <= pi.key {
 		return false
 	}
-	// Cap the horizon at every point where the step-at-a-time
-	// scheduler would have paused: gate bounds (advancing to exactly
-	// Bound() is allowed), the run horizon, the next automatic
-	// checkpoint cut.
+	// Cap the round at every point where the step-at-a-time scheduler
+	// would have paused: gate bounds (advancing to exactly Bound() is
+	// allowed), the run horizon, the next automatic checkpoint cut.
+	// The cap applies equally to the safe horizon and the speculation
+	// bound: a speculation may be wrong about its peers, never about
+	// an external synchronization point.
+	roundCap := vtime.Infinity
 	for _, g := range s.gates {
-		if gb := g.Bound().Add(1); gb < H {
-			H = gb
+		if gb := g.Bound().Add(1); gb < roundCap {
+			roundCap = gb
 		}
 	}
 	if until != vtime.Infinity {
-		if u := until.Add(1); u < H {
-			H = u
+		if u := until.Add(1); u < roundCap {
+			roundCap = u
 		}
 	}
 	if s.autoCkpt > 0 {
-		if t := s.lastAuto.Add(s.autoCkpt); t < H {
-			H = t
+		if t := s.lastAuto.Add(s.autoCkpt); t < roundCap {
+			roundCap = t
 		}
 	}
-	if H <= pi.key {
-		return false
+	H := pi.horizon
+	if roundCap < H {
+		H = roundCap
 	}
+
 	members := s.members[:0]
 	for _, c := range s.active {
 		if c.planKey < H {
 			members = append(members, c)
 		}
 	}
+	safe := len(members)
+
+	// Optimistic extension (see optimistic.go): when the safe cohort
+	// would leave workers idle, dispatch checkpointable components
+	// speculatively up to B = H + W. Their effects are buffered like
+	// everyone else's; the merge detects stragglers and rolls the
+	// affected members back to the image captured here.
+	spec := 0
+	B := H
+	if W := s.optimismWindow(); W > 0 && safe < s.workers && H < roundCap {
+		B = H.Add(W)
+		if roundCap < B {
+			B = roundCap
+		}
+		if B > H {
+			for _, c := range s.active {
+				if c.planKey >= H && c.planKey < B && s.captureSpec(c) {
+					members = append(members, c)
+					spec++
+				}
+			}
+		}
+	}
 	s.members = members
-	if len(members) < 2 {
+	if len(members) < 2 || (spec == 0 && H <= pi.key) {
 		return false
 	}
 	// Canonical member order: the order the sequential scheduler
@@ -230,25 +272,48 @@ func (s *Subsystem) runParallelRound(pi planInfo, until vtime.Time) bool {
 		// step (keys are processed in ascending order).
 		c.viewNow = c.planKey
 		c.fastUntil = H
+		if c.planKey >= H {
+			// Speculative member: free to act up to the optimism
+			// bound. Safe members stay pinned below H — they carry no
+			// image and must never need one.
+			c.wbuf.spec = true
+			c.fastUntil = B
+		}
 		c.fastGen = gen
 	}
 	atomic.AddInt64(&s.stats.ParRounds, 1)
+	if spec > 0 {
+		atomic.AddInt64(&s.stats.SpecRounds, 1)
+		atomic.AddInt64(&s.stats.SpecMembers, int64(spec))
+	}
 	s.roundWG.Add(len(members))
 	for _, c := range members {
 		s.workCh <- parJob{c: c, key: c.planKey}
 	}
 	s.roundWG.Wait()
-	s.mergeRound(members)
+	s.mergeRound(members, spec)
 	return true
 }
 
 // mergeRound replays the round's buffered side effects on the
 // scheduler goroutine in canonical order and advances the subsystem
-// clock to the last action the round executed.
-func (s *Subsystem) mergeRound(members []*Component) {
+// clock to the last action the round executed. With speculative
+// members in the round, detection runs first: straggler-hit members
+// are marked aborted, their buffered effects are skipped entirely,
+// and they are rolled back to their pre-round images after the
+// surviving effects have been applied (so committed deliveries land
+// in the restored inboxes).
+func (s *Subsystem) mergeRound(members []*Component, spec int) {
+	aborted := 0
+	if spec > 0 {
+		aborted = s.detectStragglers(members)
+	}
 	refs := s.mergeRefs[:0]
 	for _, c := range members {
 		buf := c.wbuf
+		if buf.aborted {
+			continue
+		}
 		for i := range buf.ops {
 			refs = append(refs, opRef{buf: buf, i: i})
 		}
@@ -279,20 +344,45 @@ func (s *Subsystem) mergeRound(members []*Component) {
 
 	maxView := s.now
 	var failed *Component
+	commits := 0
 	for _, c := range members {
-		if c.viewNow > maxView {
-			maxView = c.viewNow
-		}
-		if failed == nil && c.err != nil && c.status == statusDone {
-			failed = c
+		b := c.wbuf
+		if b.aborted {
+			s.rollbackSpec(c)
+		} else {
+			if c.viewNow > maxView {
+				maxView = c.viewNow
+			}
+			if b.steps != 0 {
+				atomic.AddInt64(&s.stats.Steps, b.steps)
+			}
+			if b.delivs != 0 {
+				atomic.AddInt64(&s.stats.Deliveries, b.delivs)
+			}
+			if b.spec {
+				commits++
+			}
+			if failed == nil && c.err != nil && c.status == statusDone {
+				failed = c
+			}
 		}
 		s.activate(c)
-		s.releaseBuf(c.wbuf)
+		s.releaseBuf(b)
 		c.wbuf = nil
+	}
+	if spec > 0 {
+		if commits > 0 {
+			atomic.AddInt64(&s.stats.SpecCommits, int64(commits))
+		}
+		s.noteSpecOutcome(spec, aborted)
 	}
 	// Catch the subsystem clock (and idle local times) up to the last
 	// action executed, as the step-at-a-time scheduler would have
-	// after stepping every member.
+	// after stepping every member. Rolled-back members do not count:
+	// their replay happens strictly after every committed action — the
+	// GVT rule (see detectStragglers) guarantees maxView over
+	// committed members never overtakes a restored member's earliest
+	// replay action or pending delivery.
 	if maxView > s.now {
 		s.now = maxView
 		for _, c := range s.order {
@@ -323,6 +413,13 @@ func (s *Subsystem) releaseBuf(b *workerBuf) {
 		b.ops[i] = parOp{}
 	}
 	b.ops = b.ops[:0]
+	for i := range b.popped {
+		b.popped[i] = event.Event{}
+	}
+	b.popped = b.popped[:0]
+	b.steps, b.delivs = 0, 0
+	b.spec, b.aborted, b.inert, b.expired = false, false, false, false
+	b.postKey = 0
 	b.c = nil
 	s.bufFree = append(s.bufFree, b)
 }

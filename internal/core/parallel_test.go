@@ -31,23 +31,64 @@ func (r *relay) Run(p *Proc) error {
 	}
 }
 
+// A relay is a pure reactor: its Recv loop carries no progress state,
+// so an empty image makes it checkpointable (and thus eligible for
+// speculative dispatch). work and chatty are configuration, preserved
+// because restore never touches them.
+func (r *relay) SaveState() ([]byte, error) { return nil, nil }
+func (r *relay) RestoreState([]byte) error  { return nil }
+
 // poller exercises the deadline fast path: it polls its port a fixed
-// number of times with RecvDeadline.
+// number of times with RecvDeadline. Done counts completed polls and
+// Last anchors the next deadline, so a restored poller resumes
+// exactly where its image was taken: deadlines must chain from saved
+// state, not from p.Time() — a restored component's local clock
+// includes whatever idle catch-up it had absorbed while parked, so a
+// deadline recomputed from it would drift (the RecvDeadline analogue
+// of the Delay-vs-DelayUntil checkpoint rule).
 type poller struct {
 	period vtime.Duration
 	rounds int
+	Done   int
+	Last   vtime.Time
 	Got    []int
 	Times  []vtime.Time
 }
 
 func (po *poller) Run(p *Proc) error {
-	for i := 0; i < po.rounds; i++ {
-		m, ok := p.RecvDeadline(p.Time().Add(po.period), "in")
+	for po.Done < po.rounds {
+		m, ok := p.RecvDeadline(po.Last.Add(po.period), "in")
 		if ok {
 			po.Got = append(po.Got, m.Value.(int))
 			po.Times = append(po.Times, m.Time)
 		}
+		po.Last = p.Time()
+		po.Done++
 	}
+	return nil
+}
+
+// pollerState is the poller's saved progress. period and rounds are
+// configuration and stay out of the image: GobRestore zeroes its
+// target, so gob-encoding the poller itself would wipe them (they are
+// unexported and gob cannot carry them).
+type pollerState struct {
+	Done  int
+	Last  vtime.Time
+	Got   []int
+	Times []vtime.Time
+}
+
+func (po *poller) SaveState() ([]byte, error) {
+	return GobSave(pollerState{Done: po.Done, Last: po.Last, Got: po.Got, Times: po.Times})
+}
+
+func (po *poller) RestoreState(b []byte) error {
+	var st pollerState
+	if err := GobRestore(&st, b); err != nil {
+		return err
+	}
+	po.Done, po.Last, po.Got, po.Times = st.Done, st.Last, st.Got, st.Times
 	return nil
 }
 
@@ -115,9 +156,18 @@ func randomParallelSystem(seed int64) (*Subsystem, []*consumer, []*poller) {
 // times, final subsystem time, per-net drive counts, the ordered
 // drive stream, the ordered trace stream, and the delivery counter.
 func runFingerprint(t *testing.T, seed int64, workers int) (string, Stats) {
+	return runFingerprintOpt(t, seed, workers, 0)
+}
+
+// runFingerprintOpt is runFingerprint with an optimistic (Time Warp)
+// window; 0 keeps the rounds purely conservative.
+func runFingerprintOpt(t *testing.T, seed int64, workers int, optimism vtime.Duration) (string, Stats) {
 	t.Helper()
 	s, cons, polls := randomParallelSystem(seed)
 	s.SetWorkers(workers)
+	if optimism > 0 {
+		s.SetOptimism(optimism)
+	}
 
 	driveDigest := fnv.New64a()
 	driveCounts := make(map[string]int64)
@@ -129,7 +179,7 @@ func runFingerprint(t *testing.T, seed int64, workers int) (string, Stats) {
 	s.Tracer = func(line string) { fmt.Fprintf(traceDigest, "%s\n", line) }
 
 	if err := s.Run(vtime.Infinity); err != nil {
-		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+		t.Fatalf("seed %d workers %d optimism %d: %v", seed, workers, optimism, err)
 	}
 
 	sig := signature(cons)
@@ -156,12 +206,14 @@ func runFingerprint(t *testing.T, seed int64, workers int) (string, Stats) {
 	return sig, st
 }
 
-// TestParallelEquivalenceProperty: across 50 random topologies, the
-// parallel scheduler at 1, 2 and 4 workers must produce exactly the
-// sequential scheduler's virtual end times, per-net drive counts and
-// trace digests.
+// TestParallelEquivalenceProperty: across 50 random topologies, a
+// three-way mode matrix — sequential, conservative rounds, and
+// optimistic (Time Warp) rounds at varied windows — at 1, 2 and 4
+// workers must produce exactly the sequential scheduler's delivery
+// stream, virtual end times, per-net drive counts and drive/trace
+// digests.
 func TestParallelEquivalenceProperty(t *testing.T) {
-	var parRounds int64
+	var parRounds, specRounds, rollbacks int64
 	for seed := int64(1); seed <= 50; seed++ {
 		want, _ := runFingerprint(t, seed, 0)
 		for _, workers := range []int{1, 2, 4} {
@@ -171,11 +223,25 @@ func TestParallelEquivalenceProperty(t *testing.T) {
 					seed, workers, want, got)
 			}
 			parRounds += st.ParRounds
+			for _, w := range []vtime.Duration{3, 17} {
+				got, st := runFingerprintOpt(t, seed, workers, w)
+				if got != want {
+					t.Fatalf("seed %d: workers=%d optimism=%d diverged from sequential\nseq: %s\nopt: %s",
+						seed, workers, w, want, got)
+				}
+				specRounds += st.SpecRounds
+				rollbacks += st.Rollbacks
+			}
 		}
 	}
 	if parRounds == 0 {
 		t.Fatal("no parallel rounds were ever dispatched; the parallel path went untested")
 	}
+	if specRounds == 0 {
+		t.Fatal("no speculative rounds were ever dispatched; the optimistic path went untested")
+	}
+	t.Logf("matrix: %d conservative rounds, %d speculative rounds, %d rollbacks",
+		parRounds, specRounds, rollbacks)
 }
 
 // TestParallelPipeIdentical pins the basic case: a producer/consumer
@@ -376,5 +442,146 @@ func TestFastPathMatchesHookedRun(t *testing.T) {
 		if steps == 0 {
 			t.Fatal("OnStep never called")
 		}
+	}
+}
+
+// stormTicker emits one value per virtual tick. It is deliberately
+// NOT a StateSaver: it can never be dispatched speculatively, so the
+// storm's speculative cohort is always exactly the poller — and every
+// speculative round must therefore roll back.
+type stormTicker struct {
+	N    int
+	Sent int
+}
+
+func (a *stormTicker) Run(p *Proc) error {
+	for a.Sent < a.N {
+		p.Send("out", a.Sent)
+		a.Sent++
+		p.Delay(1)
+	}
+	return nil
+}
+
+// stormPoller polls a silent "tick" port on a long period while the
+// ticker's output piles up unread on its filtered-out "in" port. Its
+// scheduling key therefore runs far ahead of the ticker's, so every
+// optimistic round speculates it past the horizon — and every ticker
+// send then lands in its executed past, forcing a rollback. Each poll
+// logs a trace line, so a single leaked (rolled-back, then replayed)
+// poll would double a line and break the trace digest.
+type stormPoller struct {
+	Period vtime.Duration
+	Rounds int
+	Done   int
+	Last   vtime.Time
+	Times  []vtime.Time
+}
+
+func (po *stormPoller) Run(p *Proc) error {
+	for po.Done < po.Rounds {
+		_, ok := p.RecvDeadline(po.Last.Add(po.Period), "tick")
+		if !ok {
+			po.Times = append(po.Times, p.Time())
+		}
+		p.Logf("poll %d", po.Done)
+		po.Last = p.Time()
+		po.Done++
+	}
+	return nil
+}
+
+func (po *stormPoller) SaveState() ([]byte, error) { return GobSave(po) }
+func (po *stormPoller) RestoreState(b []byte) error {
+	return GobRestore(po, b)
+}
+
+// buildStorm wires the straggler storm: ticker -> (delay-1 net) ->
+// poller "in", with the poller's deadline loop filtered to a never-
+// driven "tick" net so the piled-up input never lifts its key.
+func buildStorm(t *testing.T) (*Subsystem, *stormPoller) {
+	t.Helper()
+	s := NewSubsystem("storm")
+	x, _ := s.NewNet("x", 1)
+	tick, _ := s.NewNet("tick", 100)
+	a, _ := s.NewComponent("tick0", &stormTicker{N: 30})
+	a.AddPort("out")
+	s.Connect(x, a.Port("out"))
+	po := &stormPoller{Period: 10, Rounds: 10}
+	m, _ := s.NewComponent("poll0", po)
+	m.AddPort("in")
+	m.AddPort("tick")
+	s.Connect(x, m.Port("in"))
+	s.Connect(tick, m.Port("tick"))
+	return s, po
+}
+
+// stormFingerprint runs the storm topology and digests everything the
+// optimistic scheduler must keep bit-identical to sequential.
+func stormFingerprint(t *testing.T, workers int, optimism vtime.Duration, throttle bool) (string, Stats) {
+	t.Helper()
+	s, po := buildStorm(t)
+	s.SetWorkers(workers)
+	if optimism > 0 {
+		s.SetOptimism(optimism)
+		s.SetOptimismThrottle(throttle)
+	}
+	driveDigest := fnv.New64a()
+	s.OnDrive = func(net, src string, tt vtime.Time, v any) {
+		fmt.Fprintf(driveDigest, "%s|%s|%d|%v\n", net, src, tt, v)
+	}
+	traceDigest := fnv.New64a()
+	s.Tracer = func(line string) { fmt.Fprintf(traceDigest, "%s\n", line) }
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatalf("storm workers=%d optimism=%d: %v", workers, optimism, err)
+	}
+	st := s.Stats()
+	sig := fmt.Sprintf("done=%d|times=%v|now=%d|drv=%x|trc=%x|deliv=%d|drives=%d",
+		po.Done, po.Times, s.Now(), driveDigest.Sum64(), traceDigest.Sum64(),
+		st.Deliveries, st.Drives)
+	for _, c := range s.Components() {
+		sig += fmt.Sprintf("|%s@%d", c.Name(), c.LocalTime())
+	}
+	return sig, st
+}
+
+// TestOptimisticStragglerStorm: with the throttle pinned open, the
+// storm topology makes every speculative round mis-speculate — the
+// merge must roll the poller back each time and still converge on the
+// exact sequential result.
+func TestOptimisticStragglerStorm(t *testing.T) {
+	want, _ := stormFingerprint(t, 0, 0, false)
+	got, st := stormFingerprint(t, 2, 64, false)
+	if got != want {
+		t.Fatalf("storm diverged from sequential\nseq: %s\nopt: %s", want, got)
+	}
+	if st.SpecRounds < 5 {
+		t.Fatalf("storm dispatched only %d speculative rounds; topology no longer speculates", st.SpecRounds)
+	}
+	if st.Rollbacks < st.SpecRounds {
+		t.Fatalf("storm rolled back %d times over %d speculative rounds; want a rollback every round",
+			st.Rollbacks, st.SpecRounds)
+	}
+	if st.RolledBack == 0 {
+		t.Fatal("rollbacks discarded zero buffered events")
+	}
+	t.Logf("storm: %d spec rounds, %d rollbacks, %d ops discarded, %d commits",
+		st.SpecRounds, st.Rollbacks, st.RolledBack, st.SpecCommits)
+}
+
+// TestOptimisticThrottleAdapts: the same hostile topology with the
+// adaptive throttle left on must still match sequential while paying
+// for far fewer mis-speculations — the window collapses after the
+// rollback storm begins and only retries after cooldowns.
+func TestOptimisticThrottleAdapts(t *testing.T) {
+	want, _ := stormFingerprint(t, 0, 0, false)
+	got, st := stormFingerprint(t, 2, 64, true)
+	if got != want {
+		t.Fatalf("throttled storm diverged from sequential\nseq: %s\nopt: %s", want, got)
+	}
+	_, unthrottled := stormFingerprint(t, 2, 64, false)
+	if st.Rollbacks >= unthrottled.Rollbacks {
+		t.Fatalf("throttle did not help: %d rollbacks throttled vs %d unthrottled",
+			st.Rollbacks, unthrottled.Rollbacks)
 	}
 }

@@ -266,11 +266,19 @@ func (c *Component) recvInline(deadline vtime.Time) (Msg, bool, bool) {
 	if have && vtime.Max(e.Time, c.localTime) == key {
 		e, _ = c.popDeliverable()
 		msg := c.msgFromEvent(e)
-		atomic.AddInt64(&c.sub.stats.Deliveries, 1)
+		if b := c.wbuf; b != nil {
+			b.delivs++
+		} else {
+			atomic.AddInt64(&c.sub.stats.Deliveries, 1)
+		}
 		c.viewNow = key
 		return *msg, true, true
 	}
-	// Deadline expiry.
+	// Deadline expiry: a negative observation a straggler can
+	// invalidate — recorded so the member never passes for inert.
+	if b := c.wbuf; b != nil {
+		b.expired = true
+	}
 	c.localTime = vtime.Max(c.localTime, deadline)
 	c.viewNow = key
 	return Msg{Time: c.localTime}, false, true

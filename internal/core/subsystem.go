@@ -103,6 +103,24 @@ type Subsystem struct {
 	mergeRefs []opRef      // scratch: merge ordering
 	bufFree   []*workerBuf
 
+	// Optimistic (Time Warp) execution: see optimistic.go. optimism
+	// is the configured window W past the safe horizon within which
+	// checkpointable components may be dispatched speculatively;
+	// 0 (the default) keeps rounds purely conservative. effOpt is the
+	// adaptively throttled window actually used, optCool the number
+	// of rounds left before a fully collapsed window is retried, and
+	// optClean the clean-round streak that earns regrowth.
+	optimism    vtime.Duration
+	optThrottle bool
+	effOpt      vtime.Duration
+	optCool     int
+	optClean    int
+	// Straggler-detection scratch: the generation stamp validating
+	// per-component delivery minima, and the non-runnable components
+	// touched by the current round's deliveries.
+	specGen     uint64
+	specTouched []*Component
+
 	// extGen counts external requests (stop, injections, rollback
 	// and checkpoint requests). Components cache it when resumed and
 	// abandon their inline fast paths the moment it moves, so every
@@ -189,6 +207,13 @@ type Stats struct {
 	Restores    int64
 	ParRounds   int64 // parallel rounds dispatched to the worker pool
 	BytesOnNets int64
+
+	// Optimistic (Time Warp) counters: see optimistic.go.
+	SpecRounds  int64 // rounds that dispatched at least one speculative member
+	SpecMembers int64 // components dispatched speculatively past the horizon
+	SpecCommits int64 // speculative dispatches whose effects committed
+	Rollbacks   int64 // speculative dispatches undone by stragglers
+	RolledBack  int64 // buffered effects discarded by those rollbacks
 }
 
 // NewSubsystem creates an empty subsystem.
@@ -225,6 +250,11 @@ func (s *Subsystem) Stats() Stats {
 		Restores:    atomic.LoadInt64(&s.stats.Restores),
 		ParRounds:   atomic.LoadInt64(&s.stats.ParRounds),
 		BytesOnNets: atomic.LoadInt64(&s.stats.BytesOnNets),
+		SpecRounds:  atomic.LoadInt64(&s.stats.SpecRounds),
+		SpecMembers: atomic.LoadInt64(&s.stats.SpecMembers),
+		SpecCommits: atomic.LoadInt64(&s.stats.SpecCommits),
+		Rollbacks:   atomic.LoadInt64(&s.stats.Rollbacks),
+		RolledBack:  atomic.LoadInt64(&s.stats.RolledBack),
 	}
 }
 
@@ -747,6 +777,10 @@ func (s *Subsystem) Run(until vtime.Time) error {
 	// scheduler to the classic step-at-a-time path.
 	s.fastOK = s.OnStep == nil
 	s.prepareLookahead()
+	// The adaptive throttle starts each run at the configured window
+	// and re-earns it after rollback storms (see optimistic.go).
+	s.effOpt = s.optimism
+	s.optCool, s.optClean = 0, 0
 	if s.workers > 0 {
 		s.startPool()
 		defer s.stopPool()
@@ -1074,7 +1108,15 @@ func (s *Subsystem) gateBlocked(t vtime.Time) bool {
 // step resumes component c, delivering a message if it is parked in
 // Recv.
 func (s *Subsystem) step(c *Component, key vtime.Time) {
-	atomic.AddInt64(&s.stats.Steps, 1)
+	// During a parallel round, step/delivery counts are buffered per
+	// member and folded in at merge time for committed members only:
+	// a rolled-back speculation replays later and must not be counted
+	// twice (or at all, if the replay diverges).
+	if b := c.wbuf; b != nil {
+		b.steps++
+	} else {
+		atomic.AddInt64(&s.stats.Steps, 1)
+	}
 	switch c.status {
 	case statusNew, statusRunnable:
 		s.resume(c, tokenMsg{ok: true})
@@ -1082,11 +1124,20 @@ func (s *Subsystem) step(c *Component, key vtime.Time) {
 		if e, ok := c.nextDeliverable(); ok && vtime.Max(e.Time, c.localTime) == key {
 			e, _ = c.popDeliverable()
 			msg := c.msgFromEvent(e)
-			atomic.AddInt64(&s.stats.Deliveries, 1)
+			if b := c.wbuf; b != nil {
+				b.delivs++
+			} else {
+				atomic.AddInt64(&s.stats.Deliveries, 1)
+			}
 			s.resume(c, tokenMsg{ok: true, msg: msg})
 			return
 		}
-		// Deadline expiry.
+		// Deadline expiry: a negative observation ("nothing arrived
+		// before the deadline") that a straggler can invalidate —
+		// recorded so the member never passes for inert.
+		if b := c.wbuf; b != nil {
+			b.expired = true
+		}
 		c.localTime = vtime.Max(c.localTime, c.recvDeadline)
 		s.resume(c, tokenMsg{ok: false})
 	default:

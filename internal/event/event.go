@@ -387,15 +387,40 @@ func (q *Queue) Snapshot() []Event {
 // DiscardAfter removes every pending event with Time > t and returns
 // how many were removed. Used on rollback: events from the discarded
 // future must not survive the restore.
+//
+// The dominant rollback case is a queue whose pending events all sit
+// at or before the restore point (the speculated future was consumed,
+// not scheduled), so the first pass is a pure read over the times
+// column that touches nothing and skips the re-heapify entirely when
+// there is nothing to remove. The opposite extreme — everything is in
+// the discarded future — truncates the columns wholesale without the
+// compaction walk. Only a genuinely mixed queue pays for compaction
+// plus re-heapify.
 func (q *Queue) DiscardAfter(t vtime.Time) int {
-	removed := 0
+	doomed := 0
+	for i := 0; i < len(q.times); i++ {
+		if q.times[i] > t {
+			doomed++
+		}
+	}
+	if doomed == 0 {
+		return 0
+	}
+	if doomed == len(q.times) {
+		for i := 0; i < len(q.rows); i++ {
+			slot := q.rows[i]
+			q.store[slot] = payload{}
+			q.free = append(q.free, slot)
+		}
+		q.times, q.seqs, q.rows = q.times[:0], q.seqs[:0], q.rows[:0]
+		return doomed
+	}
 	kept := 0
 	for i := 0; i < len(q.times); i++ {
 		if q.times[i] > t {
 			slot := q.rows[i]
 			q.store[slot] = payload{}
 			q.free = append(q.free, slot)
-			removed++
 			continue
 		}
 		q.times[kept], q.seqs[kept], q.rows[kept] = q.times[i], q.seqs[i], q.rows[i]
@@ -406,7 +431,7 @@ func (q *Queue) DiscardAfter(t vtime.Time) int {
 	for i := kept/2 - 1; i >= 0; i-- {
 		q.down(i)
 	}
-	return removed
+	return doomed
 }
 
 // Reset empties the queue but keeps the sequence counter monotone, so

@@ -113,6 +113,48 @@ func TestDiscardAfter(t *testing.T) {
 	}
 }
 
+func TestDiscardAfterFastPaths(t *testing.T) {
+	// Zero-removal: nothing after t, the queue must be untouched and
+	// still pop in order.
+	var q Queue
+	for _, ts := range []vtime.Time{5, 1, 9, 3, 7} {
+		q.Push(Event{Time: ts})
+	}
+	if n := q.DiscardAfter(9); n != 0 {
+		t.Fatalf("DiscardAfter(9) removed %d, want 0", n)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("zero-removal path shrank the queue: len %d", q.Len())
+	}
+
+	// Remove-all: everything after t, wholesale truncation, and the
+	// freed rows must be reusable.
+	if n := q.DiscardAfter(0); n != 5 {
+		t.Fatalf("DiscardAfter(0) removed %d, want 5", n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("remove-all left %d events", q.Len())
+	}
+	q.Push(Event{Time: 2})
+	q.Push(Event{Time: 4})
+	if got := mustPop(t, &q).Time; got != 2 {
+		t.Fatalf("after remove-all reuse: popped %v, want 2", got)
+	}
+
+	// Mixed, with sequence order preserved among equal times.
+	q.Reset()
+	a := q.Push(Event{Time: 3, Port: "a"})
+	b := q.Push(Event{Time: 3, Port: "b"})
+	q.Push(Event{Time: 8})
+	if n := q.DiscardAfter(3); n != 1 {
+		t.Fatalf("mixed discard removed %d, want 1", n)
+	}
+	e1, e2 := mustPop(t, &q), mustPop(t, &q)
+	if e1.Seq != a || e2.Seq != b {
+		t.Fatalf("mixed discard broke seq order: %d,%d want %d,%d", e1.Seq, e2.Seq, a, b)
+	}
+}
+
 func TestSnapshotDoesNotDisturb(t *testing.T) {
 	var q Queue
 	for _, ts := range []vtime.Time{5, 1, 9} {

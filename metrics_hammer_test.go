@@ -31,7 +31,9 @@ func TestMetricsHammer(t *testing.T) {
 			CorruptProb: 0.01,
 			Partitions:  []FaultPartition{{AtFrame: 50, Heal: 20 * time.Millisecond}},
 		}).
-		SetResilience(ResilienceConfig{Heartbeat: 100 * time.Millisecond, Seed: 11})
+		SetResilience(ResilienceConfig{Heartbeat: 100 * time.Millisecond, Seed: 11}).
+		SetWorkers(2).
+		SetOptimism(Microseconds(4))
 	n1, n2 := NewNode("hammer-n1"), NewNode("hammer-n2")
 	cl, err := b.BuildOnNodes(map[string]*Node{"ssA": n1, "ssB": n2})
 	if err != nil {
@@ -127,5 +129,20 @@ func TestMetricsHammer(t *testing.T) {
 	}
 	if byName[`pia_session_resumes{node="hammer-n1"}`] == 0 {
 		t.Fatal("no session resumes in snapshot")
+	}
+	// The Time Warp counters are exported through the same pull
+	// collector (and hammered through the same Stats() accessor);
+	// single-component subsystems never speculate, so presence — not
+	// value — is the contract here.
+	for _, series := range []string{
+		`pia_optimistic_rounds{sub="ssA"}`,
+		`pia_optimistic_members{sub="ssA"}`,
+		`pia_optimistic_commits{sub="ssA"}`,
+		`pia_optimistic_rollbacks{sub="ssA"}`,
+		`pia_optimistic_rolled_back_events{sub="ssA"}`,
+	} {
+		if _, ok := byName[series]; !ok {
+			t.Fatalf("optimistic series %s missing from snapshot", series)
+		}
 	}
 }

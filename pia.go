@@ -183,7 +183,8 @@ type SystemBuilder struct {
 	resil     ResilienceConfig
 	resilSet  bool
 
-	workers int
+	workers  int
+	optimism vtime.Duration
 
 	err error
 }
@@ -323,6 +324,19 @@ func (b *SystemBuilder) SetWorkers(n int) *SystemBuilder {
 	return b
 }
 
+// SetOptimism sets the optimistic (Time Warp) window applied to every
+// subsystem the build creates. With w > 0 and a worker pool
+// configured, rounds whose conservative safe cohort would leave
+// workers idle dispatch checkpointable components speculatively up to
+// w past the safe horizon, rolling mis-speculations back at merge
+// time; results stay bit-identical to the sequential scheduler. 0
+// (the default) keeps rounds purely conservative. See
+// core.Subsystem.SetOptimism.
+func (b *SystemBuilder) SetOptimism(w Duration) *SystemBuilder {
+	b.optimism = vtime.Duration(w)
+	return b
+}
+
 // Err returns the first accumulated builder error.
 func (b *SystemBuilder) Err() error { return b.err }
 
@@ -422,6 +436,9 @@ func (b *SystemBuilder) BuildLocal() (*Simulation, error) {
 	for _, subName := range v.Subsystems() {
 		s := core.NewSubsystem(subName)
 		s.SetWorkers(b.workers)
+		if b.optimism > 0 {
+			s.SetOptimism(b.optimism)
+		}
 		sim.Subsystems[subName] = s
 		sim.Hubs[subName] = channel.NewHub(s)
 		sim.subOrder = append(sim.subOrder, subName)
@@ -516,6 +533,15 @@ func (sim *Simulation) Subsystem(name string) *core.Subsystem { return sim.Subsy
 func (sim *Simulation) SetWorkers(n int) {
 	for _, s := range sim.Subsystems {
 		s.SetWorkers(n)
+	}
+}
+
+// SetOptimism sets the optimistic (Time Warp) window of every
+// subsystem in the simulation. Takes effect at the next Run; 0
+// restores purely conservative rounds.
+func (sim *Simulation) SetOptimism(w Duration) {
+	for _, s := range sim.Subsystems {
+		s.SetOptimism(vtime.Duration(w))
 	}
 }
 
