@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire optimistic fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate bench-optimistic
+.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire optimistic service fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate bench-optimistic bench-sessions
 
-ci: vet build test race race-core chaos mesh metrics timeline wire optimistic bench-smoke
+ci: vet build test race race-core chaos mesh metrics timeline wire optimistic service bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +90,24 @@ optimistic:
 	$(GO) test -race -count=1 -run 'TestOptimistic' ./internal/experiments/
 	$(GO) test -count=1 -run 'TestDisabledTimelineZeroAlloc' ./internal/timeline/
 	$(GO) test -count=1 -run 'TestDiscardAfterNoopZeroAlloc' ./internal/event/
+
+# The multi-tenant service gate: the whole catalog package (session
+# lifecycle, concurrent churn, shared-listener attach, HTTP API)
+# under the race detector, the fair-share determinism proof (tenant
+# digests bit-identical to isolated runs at every pool size), and the
+# pianode observability-mux suite.
+service:
+	$(GO) test -race -count=1 ./internal/service/
+	$(GO) test -race -count=1 -run 'TestSharedPool' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestSessionsExperiment' ./internal/experiments/
+	$(GO) test -count=1 ./cmd/pianode/
+
+# The session-service benchmark: steady-state concurrent tenants at
+# each pool size, lifecycle churn throughput, and the deterministic
+# admission/eviction probes; piabench exits non-zero if any tenant
+# digest deviates from its isolated reference — the BENCH_6 artifact.
+bench-sessions:
+	$(GO) run ./cmd/piabench -exp sessions -json BENCH_6.json
 
 # The wire-codec ablation: coalesced remote legs, gob fallback vs
 # zero-copy binary, with codec allocs/op — the BENCH_3 artifact.

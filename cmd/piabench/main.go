@@ -103,7 +103,7 @@ func startReporter() {
 }
 
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, optimistic, migrate, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, optimistic, migrate, sessions, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	wireGob := flag.Bool("wire-gob", false, "force the gob fallback wire codec on every batch entry (the pre-zero-copy format)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
 	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
@@ -154,6 +154,7 @@ func main() {
 		"parallel":    parallel,
 		"optimistic":  optimisticExp,
 		"migrate":     migrateExp,
+		"sessions":    sessionsExp,
 		"fig1":        fig1,
 		"fig2":        fig2,
 		"fig3":        fig3,
@@ -483,6 +484,103 @@ func writeParallelJSON(cfg experiments.ParallelConfig, rows []experiments.Parall
 			WallNS:     r.Wall.Nanoseconds(),
 			VirtualNS:  int64(r.Virt),
 			LinkDrives: r.Drives,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+	return nil
+}
+
+// sessionsExp benchmarks the multi-tenant session service: steady
+// legs holding the full tenant population live at each shared-pool
+// size, a concurrent create/run/stop churn leg, and the
+// admission/eviction determinism probes. Per-session drive digests
+// are asserted bit-identical to isolated single-session runs inside
+// experiments.Sessions; any divergence fails the run. -workers, when
+// set, replaces the default 0/2/4 steady sweep with {0, workers}.
+func sessionsExp(int) error {
+	cfg := experiments.DefaultSessionsConfig()
+	if benchWorkers > 0 {
+		cfg.Workers = []int{0, benchWorkers}
+	}
+	fmt.Printf("Multi-tenant session service: %d tenants steady-state, %d churned by %d clients (fan %dx%d)\n\n",
+		cfg.Sessions, cfg.Churn, cfg.Clients, cfg.Fanout, cfg.Rounds)
+	rows, err := experiments.Sessions(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "leg\tworkers\tsessions\tpeak live\twall\tsessions/sec\tdigests\trejected\tevicted")
+	for _, r := range rows {
+		rate := ""
+		if r.SessionsPerSec > 0 {
+			rate = fmt.Sprintf("%.0f", r.SessionsPerSec)
+		}
+		ok := "identical"
+		if !r.DigestsOK {
+			ok = "DIVERGED"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%v\t%s\t%s\t%d\t%d\n",
+			r.Leg, r.Workers, r.Sessions, r.PeakLive, r.Wall.Round(time.Millisecond), rate, ok, r.Rejected, r.Evicted)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nresult invariant holds: per-session digests identical to isolated runs at every worker count")
+	return writeSessionsJSON(cfg, rows)
+}
+
+// sessionsRow is the machine-readable form of one sessions leg.
+type sessionsRow struct {
+	Leg            string  `json:"leg"`
+	Workers        int     `json:"workers"`
+	Sessions       int     `json:"sessions"`
+	PeakLive       int     `json:"peak_live"`
+	WallNS         int64   `json:"wall_ns"`
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	Steps          int64   `json:"steps,omitempty"`
+	DigestsOK      bool    `json:"digests_identical"`
+	Rejected       int64   `json:"rejected,omitempty"`
+	Evicted        int64   `json:"evicted,omitempty"`
+	EvictChunk     int     `json:"evict_chunk,omitempty"`
+	EvictSteps     int64   `json:"evict_steps,omitempty"`
+}
+
+func writeSessionsJSON(cfg experiments.SessionsConfig, rows []experiments.SessionsRow) error {
+	if jsonOut == "" {
+		return nil
+	}
+	out := struct {
+		Experiment string        `json:"experiment"`
+		Sessions   int           `json:"sessions"`
+		Churn      int           `json:"churn"`
+		Clients    int           `json:"clients"`
+		Fanout     int           `json:"fanout"`
+		Rounds     int           `json:"rounds"`
+		Seeds      int           `json:"seeds"`
+		Rows       []sessionsRow `json:"rows"`
+	}{Experiment: "sessions", Sessions: cfg.Sessions, Churn: cfg.Churn, Clients: cfg.Clients,
+		Fanout: cfg.Fanout, Rounds: cfg.Rounds, Seeds: cfg.Seeds}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, sessionsRow{
+			Leg:            r.Leg,
+			Workers:        r.Workers,
+			Sessions:       r.Sessions,
+			PeakLive:       r.PeakLive,
+			WallNS:         r.Wall.Nanoseconds(),
+			SessionsPerSec: r.SessionsPerSec,
+			Steps:          r.Steps,
+			DigestsOK:      r.DigestsOK,
+			Rejected:       r.Rejected,
+			Evicted:        r.Evicted,
+			EvictChunk:     r.EvictChunk,
+			EvictSteps:     r.EvictSteps,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

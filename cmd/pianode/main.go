@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/resilience"
+	"repro/internal/service"
 	"repro/internal/timeline"
 	"repro/internal/vtime"
 	"repro/internal/wubbleu"
@@ -82,6 +84,15 @@ func main() {
 	timelinePath := flag.String("timeline", "", "record a structured timeline and write it (per-node native JSON) to this file at shutdown")
 	timelineMerge := flag.String("timeline-merge", "", "merge per-node timeline files (remaining args) into a Perfetto trace at this path, then exit")
 
+	// Service mode: a multi-tenant session catalog replaces the single
+	// modem-site subsystem. Designers create sessions over HTTP and
+	// attach over the shared data listener by session id.
+	serviceMode := flag.Bool("service", false, "run the multi-tenant session service (session API on the -metrics address, data channels on -listen)")
+	maxSessions := flag.Int("max-sessions", 0, "service mode: admission cap on concurrent sessions (0 = unlimited)")
+	maxMem := flag.Int64("max-mem", 0, "service mode: admission cap on total session footprint bytes (0 = unlimited)")
+	maxSessionMem := flag.Int64("max-session-mem", 0, "service mode: admission cap on a single session's footprint bytes (0 = unlimited)")
+	maxSteps := flag.Int64("max-steps", 0, "service mode: per-session scheduler-step budget; crossing it evicts the tenant (0 = unlimited)")
+
 	// Mesh mode: join an N-node control plane running the shared
 	// migration demo workload instead of serving the modem site.
 	meshName := flag.String("mesh-name", "", "join a mesh as this member and run the migration demo workload (requires -peers)")
@@ -118,6 +129,14 @@ func main() {
 	if *pprofOn && *metricsAddr == "" {
 		log.Fatal("pianode: -pprof needs -metrics to provide the HTTP listener")
 	}
+	if *serviceMode {
+		if *meshName != "" || *meshPeers != "" {
+			log.Fatal("pianode: -service and mesh mode are mutually exclusive")
+		}
+		if *metricsAddr == "" {
+			log.Fatal("pianode: -service needs -metrics to provide the session API listener")
+		}
+	}
 
 	fcfg := faultnet.Config{
 		Seed:         *seed,
@@ -144,6 +163,28 @@ func main() {
 		RetentionFrames: *retentionFrames,
 		RetentionBytes:  *retentionBytes,
 		Seed:            *seed,
+	}
+
+	if *serviceMode {
+		if err := runService(serviceOptions{
+			listen:      *listen,
+			metricsAddr: *metricsAddr,
+			verbose:     *verbose,
+			pprofOn:     *pprofOn,
+			resilient:   *resilient,
+			workers:     *workers,
+			limits: service.Limits{
+				MaxSessions:        *maxSessions,
+				MaxMemBytes:        *maxMem,
+				MaxSessionMemBytes: *maxSessionMem,
+				MaxSteps:           *maxSteps,
+			},
+			faults: fcfg,
+			res:    rcfg,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	// Mesh mode replaces the modem-site server wholesale: the node
@@ -248,11 +289,15 @@ func main() {
 	fmt.Printf("pianode: serving subsystem %q (level %s, %d KB page) on %s\n",
 		sub.Name(), cfg.Level, *pageKB, addr)
 
+	var obsSrv *http.Server
 	if *metricsAddr != "" {
-		maddr, err := serveMetrics(*metricsAddr, reg, n, *resilient, *pprofOn, nil)
+		srv, maddr, err := serveObs(*metricsAddr, obsConfig{
+			reg: reg, health: n, resilient: *resilient, pprofOn: *pprofOn,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		obsSrv = srv
 		fmt.Printf("pianode: metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
 		if *pprofOn {
 			fmt.Printf("pianode: profiles on http://%s/debug/pprof/\n", maddr)
@@ -296,19 +341,52 @@ func main() {
 			fmt.Printf("pianode: timeline written to %s (merge with -timeline-merge)\n", *timelinePath)
 		}
 	}
+	shutdownObs(obsSrv)
 	n.Close()
 }
 
-// serveMetrics starts the observability HTTP listener: /metrics in
+// healthSource is the slice of the node the health endpoint reads —
+// an interface so the handler can be exercised against fabricated
+// session states.
+type healthSource interface {
+	SessionHealth() (total, alive int)
+	ResilienceStats() resilience.Stats
+}
+
+// migrator is the slice of the mesh member the admin endpoints use —
+// an interface so the mux can be tested without forming a mesh.
+// *mesh.Member implements it.
+type migrator interface {
+	Health() mesh.Health
+	Name() string
+	Leader() string
+	Epoch() uint64
+	Placement() map[string]string
+	Members() []string
+	RequestMigration(comp, dest string) error
+}
+
+// obsConfig selects what the observability mux serves.
+type obsConfig struct {
+	reg       *metrics.Registry
+	health    healthSource
+	resilient bool
+	pprofOn   bool
+	mem       migrator         // mesh mode: membership health + migration admin
+	catalog   *service.Catalog // service mode: session API + per-tenant health
+}
+
+// newObsMux assembles the observability surface: /metrics in
 // Prometheus text by default (JSON via ?format=json or an Accept
 // header asking for application/json), /healthz reporting session
 // liveness, and — when enabled — the net/http/pprof profile surface
 // under /debug/pprof/. With a mesh member, /healthz switches to the
 // membership view and POST /migrate becomes the live-migration admin
-// endpoint. Returns the bound address.
-func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, pprofOn bool, mem *mesh.Member) (string, error) {
+// endpoint; with a session catalog, the /sessions API is mounted and
+// /healthz gains per-tenant liveness.
+func newObsMux(o obsConfig) *http.ServeMux {
 	mux := http.NewServeMux()
-	if pprofOn {
+	if o.pprofOn {
 		// The handlers register themselves on http.DefaultServeMux at
 		// import time; this mux is a private one, so wire them in
 		// explicitly. Index serves every named profile (heap,
@@ -320,61 +398,134 @@ func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, p
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var err error
 		if r.URL.Query().Get("format") == "json" ||
 			strings.Contains(r.Header.Get("Accept"), "application/json") {
 			w.Header().Set("Content-Type", "application/json")
-			reg.WriteJSON(w)
-			return
+			err = o.reg.WriteJSON(w)
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			err = o.reg.WritePrometheus(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w)
+		if err != nil {
+			log.Printf("pianode: writing /metrics response: %v", err)
+		}
 	})
-	if mem != nil {
+	if o.mem != nil {
 		mux.HandleFunc("/migrate", func(w http.ResponseWriter, r *http.Request) {
-			handleMigrate(w, r, mem)
+			handleMigrate(w, r, o.mem)
 		})
 	}
+	if o.catalog != nil {
+		api := service.Handler(o.catalog)
+		mux.Handle("/sessions", api)
+		mux.Handle("/sessions/", api)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if mem != nil {
-			meshHealth(w, mem)
+		if o.mem != nil {
+			meshHealth(w, o.mem)
 			return
 		}
-		total, alive := n.SessionHealth()
-		rs := n.ResilienceStats()
-		status := "ok"
-		code := http.StatusOK
-		// A dead session is one that exhausted its retry budget or
-		// hit an unresumable gap: the designer on its far end is
-		// gone for good, which is exactly what a health probe should
-		// surface. Sessions mid-outage still count as alive.
-		if resilient && total > alive {
-			status = "degraded"
-			code = http.StatusServiceUnavailable
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		json.NewEncoder(w).Encode(map[string]any{
-			"status":          status,
-			"resilient":       resilient,
-			"sessions":        total,
-			"sessions_alive":  alive,
-			"epoch_deaths":    rs.EpochDeaths,
-			"resumes":         rs.Resumes,
-			"replayed_frames": rs.ReplayedFrames,
-			"rewinds":         rs.Rewinds,
-		})
+		nodeHealth(w, o)
 	})
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// nodeHealth reports session liveness. A dead session is one that
+// exhausted its retry budget or hit an unresumable gap: the designer
+// on its far end is gone for good, which is exactly what a health
+// probe should surface — whether or not -resilient armed the
+// resumable protocol. Sessions mid-outage still count as alive. In
+// service mode the tenant catalog is folded in: a failed or evicted
+// tenant degrades the probe the same way.
+func nodeHealth(w http.ResponseWriter, o obsConfig) {
+	total, alive := o.health.SessionHealth()
+	rs := o.health.ResilienceStats()
+	status, code := "ok", http.StatusOK
+	if total > alive {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	body := map[string]any{
+		"resilient":       o.resilient,
+		"sessions":        total,
+		"sessions_alive":  alive,
+		"epoch_deaths":    rs.EpochDeaths,
+		"resumes":         rs.Resumes,
+		"replayed_frames": rs.ReplayedFrames,
+		"rewinds":         rs.Rewinds,
+	}
+	if o.catalog != nil {
+		infos, rev := o.catalog.List()
+		tenants := make(map[string]string, len(infos))
+		dead := 0
+		for _, in := range infos {
+			tenants[in.ID] = string(in.State)
+			if in.State == service.StateFailed || in.State == service.StateEvicted {
+				dead++
+			}
+		}
+		if dead > 0 && code == http.StatusOK {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+		body["service"] = true
+		body["catalog_rev"] = rev
+		body["tenants"] = tenants
+		body["tenants_failed"] = dead
+	}
+	body["status"] = status
+	writeObsJSON(w, code, body)
+}
+
+// writeObsJSON writes a JSON response and logs the failure a bare
+// Encode would swallow — a probe hanging up mid-body otherwise looks
+// identical to a served request.
+func writeObsJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("pianode: writing response: %v", err)
+	}
+}
+
+// serveObs starts the observability HTTP listener. Returns the
+// server (so the caller can drain it at shutdown) and the bound
+// address.
+func serveObs(addr string, o obsConfig) (*http.Server, string, error) {
+	srv := &http.Server{
+		Handler: newObsMux(o),
+		// Slow-client bounds: a scraper that stalls mid-headers or
+		// mid-read cannot pin a connection open forever. The write
+		// budget is generous because /debug/pprof/profile streams
+		// for its ?seconds= argument (30s by default) before the
+		// response completes.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("pianode: -metrics %s: %w", addr, err)
+		return nil, "", fmt.Errorf("pianode: -metrics %s: %w", addr, err)
 	}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("pianode: metrics server: %v", err)
 		}
 	}()
-	return ln.Addr().String(), nil
+	return srv, ln.Addr().String(), nil
+}
+
+// shutdownObs drains in-flight scrapes before the process exits. A
+// nil server (observability was never enabled) is a no-op.
+func shutdownObs(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("pianode: metrics shutdown: %v", err)
+	}
 }
 
 // meshHealth reports this member's view of the mesh: every member
@@ -382,7 +533,7 @@ func serveMetrics(addr string, reg *metrics.Registry, n *node.Node, resilient, p
 // (503) only when a quorum of members is dead; losing one peer of a
 // larger mesh reports "degraded" but stays 200, because the mesh is
 // still able to coordinate rounds once the peer returns.
-func meshHealth(w http.ResponseWriter, mem *mesh.Member) {
+func meshHealth(w http.ResponseWriter, mem migrator) {
 	h := mem.Health()
 	status, code := "ok", http.StatusOK
 	switch {
@@ -391,9 +542,7 @@ func meshHealth(w http.ResponseWriter, mem *mesh.Member) {
 	case h.Alive < h.Total:
 		status = "degraded"
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	writeObsJSON(w, code, map[string]any{
 		"status":     status,
 		"mesh":       true,
 		"self":       mem.Name(),
@@ -412,7 +561,7 @@ func meshHealth(w http.ResponseWriter, mem *mesh.Member) {
 // the migration at the next held drain barrier. The response only
 // acknowledges acceptance; completion shows up as an epoch bump in
 // /healthz.
-func handleMigrate(w http.ResponseWriter, r *http.Request, mem *mesh.Member) {
+func handleMigrate(w http.ResponseWriter, r *http.Request, mem migrator) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -443,13 +592,88 @@ func handleMigrate(w http.ResponseWriter, r *http.Request, mem *mesh.Member) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	writeObsJSON(w, http.StatusOK, map[string]any{
 		"accepted":  true,
 		"component": comp,
 		"dest":      dest,
 		"leader":    mem.Leader(),
 	})
+}
+
+// serviceOptions carries the parsed flag values into service mode.
+type serviceOptions struct {
+	listen, metricsAddr string
+	verbose, pprofOn    bool
+	resilient           bool
+	workers             int
+	limits              service.Limits
+	faults              faultnet.Config
+	res                 resilience.Config
+}
+
+// runService turns the node into a multi-tenant simulation service:
+// a session catalog managed over HTTP on the -metrics address, every
+// live session hosted under its id behind the one shared data
+// listener, all of them fair-sharing one bounded worker pool.
+func runService(o serviceOptions) error {
+	n := node.New("service-node")
+	if o.verbose {
+		n.Tracer = func(s string) { log.Print(s) }
+	}
+	if o.faults.Enabled() {
+		n.SetFaults(o.faults)
+		if !o.resilient {
+			log.Print("pianode: warning: faults armed without -resilient; connections will not survive them")
+		}
+	}
+	if o.resilient {
+		n.SetResilience(o.res)
+	}
+	defer n.Close()
+
+	// One shared registry backs the scrape, but the node is NOT wired
+	// into it: each session runs its own registry (so its samples can
+	// carry the tenant label), and the catalog's collector re-emits
+	// them all into this one at snapshot time.
+	reg := metrics.NewRegistry()
+	cat := service.NewCatalog(service.Config{
+		Workers: o.workers,
+		Limits:  o.limits,
+		Node:    n,
+		Metrics: reg,
+	})
+	defer cat.Close()
+
+	addr, err := n.Listen(o.listen)
+	if err != nil {
+		return err
+	}
+	srv, maddr, err := serveObs(o.metricsAddr, obsConfig{
+		reg: reg, health: n, resilient: o.resilient,
+		pprofOn: o.pprofOn, catalog: cat,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pianode: session service up: data channels on %s, session API on http://%s/sessions\n",
+		addr, maddr)
+	fmt.Printf("pianode: metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
+	if o.pprofOn {
+		fmt.Printf("pianode: profiles on http://%s/debug/pprof/\n", maddr)
+	}
+	if o.workers > 0 {
+		fmt.Printf("pianode: sessions fair-share a %d-worker pool\n", o.workers)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("pianode: interrupted")
+	shutdownObs(srv)
+	st := cat.Stats()
+	fmt.Printf("pianode: service done: live=%d created=%d stopped=%d evicted=%d rejected=%d\n",
+		st.Live, st.Created, st.Stopped, st.Evicted, st.Rejected)
+	return nil
 }
 
 // meshOptions carries the parsed flag values into mesh mode.
@@ -527,11 +751,16 @@ func runMesh(o meshOptions) error {
 
 	// Admin/metrics listener comes up before the (blocking) mesh
 	// formation so probes can watch the mesh assemble.
+	var obsSrv *http.Server
+	defer func() { shutdownObs(obsSrv) }()
 	if o.metricsAddr != "" {
-		maddr, err := serveMetrics(o.metricsAddr, reg, nd, o.resilient, o.pprofOn, mem)
+		srv, maddr, err := serveObs(o.metricsAddr, obsConfig{
+			reg: reg, health: nd, resilient: o.resilient, pprofOn: o.pprofOn, mem: mem,
+		})
 		if err != nil {
 			return err
 		}
+		obsSrv = srv
 		fmt.Printf("pianode: mesh health on http://%s/healthz, migration admin on http://%s/migrate\n",
 			maddr, maddr)
 	}

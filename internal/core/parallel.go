@@ -239,7 +239,7 @@ func (s *Subsystem) runParallelRound(pi planInfo, until vtime.Time) bool {
 	// affected members back to the image captured here.
 	spec := 0
 	B := H
-	if W := s.optimismWindow(); W > 0 && safe < s.workers && H < roundCap {
+	if W := s.optimismWindow(); W > 0 && safe < s.poolSize() && H < roundCap {
 		B = H.Add(W)
 		if roundCap < B {
 			B = roundCap
@@ -287,8 +287,15 @@ func (s *Subsystem) runParallelRound(pi planInfo, until vtime.Time) bool {
 		atomic.AddInt64(&s.stats.SpecMembers, int64(spec))
 	}
 	s.roundWG.Add(len(members))
-	for _, c := range members {
-		s.workCh <- parJob{c: c, key: c.planKey}
+	if s.sharedPool != nil {
+		// The shared pool copies the jobs into its own queue: members
+		// aliases the s.members scratch slice, which the next round
+		// reuses.
+		s.sharedPool.submit(s, members)
+	} else {
+		for _, c := range members {
+			s.workCh <- parJob{c: c, key: c.planKey}
+		}
 	}
 	s.roundWG.Wait()
 	s.mergeRound(members, spec)

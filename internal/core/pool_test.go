@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// poolFingerprint runs the seeded system with its rounds dispatched
+// into the given shared pool and returns the same fingerprint as
+// runFingerprint.
+func poolFingerprint(t *testing.T, seed int64, pool *SharedPool) (string, Stats) {
+	t.Helper()
+	s, cons, polls := randomParallelSystem(seed)
+	s.SetPool(pool)
+	defer pool.Forget(s)
+
+	driveDigest := fnv.New64a()
+	driveCounts := make(map[string]int64)
+	s.OnDrive = func(net, src string, tt vtime.Time, v any) {
+		driveCounts[net]++
+		fmt.Fprintf(driveDigest, "%s|%s|%d|%v\n", net, src, tt, v)
+	}
+	traceDigest := fnv.New64a()
+	s.Tracer = func(line string) { fmt.Fprintf(traceDigest, "%s\n", line) }
+
+	if err := s.Run(vtime.Infinity); err != nil {
+		t.Fatalf("seed %d shared pool: %v", seed, err)
+	}
+
+	sig := signature(cons)
+	for i, po := range polls {
+		sig += fmt.Sprintf("|poll%d:", i)
+		for j, v := range po.Got {
+			sig += fmt.Sprintf("%d@%d,", v, po.Times[j])
+		}
+	}
+	for _, c := range s.Components() {
+		sig += fmt.Sprintf("|%s@%d", c.Name(), c.LocalTime())
+	}
+	sig += fmt.Sprintf("|now=%d", s.Now())
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("n%d", i)
+		if s.Net(name) == nil {
+			break
+		}
+		sig += fmt.Sprintf("|%s=%d", name, driveCounts[name])
+	}
+	st := s.Stats()
+	sig += fmt.Sprintf("|drv=%x|trc=%x|deliv=%d|drives=%d",
+		driveDigest.Sum64(), traceDigest.Sum64(), st.Deliveries, st.Drives)
+	return sig, st
+}
+
+// TestSharedPoolEquivalence: a subsystem whose rounds run on a shared
+// pool must reproduce the sequential scheduler bit-for-bit, at every
+// pool size.
+func TestSharedPoolEquivalence(t *testing.T) {
+	var rounds int64
+	for seed := int64(1); seed <= 20; seed++ {
+		want, _ := runFingerprint(t, seed, 0)
+		for _, n := range []int{1, 2, 4} {
+			pool := NewSharedPool(n)
+			got, st := poolFingerprint(t, seed, pool)
+			pool.Close()
+			if got != want {
+				t.Fatalf("seed %d: shared pool n=%d diverged from sequential\nseq: %s\npool: %s",
+					seed, n, want, got)
+			}
+			rounds += st.ParRounds
+		}
+	}
+	if rounds == 0 {
+		t.Fatalf("no seed produced a parallel round on the shared pool")
+	}
+}
+
+// TestSharedPoolConcurrentSubsystems: many subsystems running
+// concurrently on ONE shared pool must each reproduce their own
+// sequential fingerprint — interleaving another tenant's jobs between
+// a subsystem's round members must be invisible in its results.
+func TestSharedPoolConcurrentSubsystems(t *testing.T) {
+	const tenants = 12
+	want := make([]string, tenants)
+	for i := 0; i < tenants; i++ {
+		want[i], _ = runFingerprint(t, int64(i+1), 0)
+	}
+
+	pool := NewSharedPool(4)
+	defer pool.Close()
+	got := make([]string, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _ = poolFingerprint(t, int64(i+1), pool)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < tenants; i++ {
+		if got[i] != want[i] {
+			t.Fatalf("tenant %d diverged on the shared pool\nseq:  %s\npool: %s",
+				i, want[i], got[i])
+		}
+	}
+}
+
+// TestSharedPoolForgetReuse: attach, run, forget, repeat — the ring
+// bookkeeping must survive subsystems coming and going.
+func TestSharedPoolForgetReuse(t *testing.T) {
+	pool := NewSharedPool(2)
+	defer pool.Close()
+	want, _ := runFingerprint(t, 3, 0)
+	for i := 0; i < 5; i++ {
+		got, _ := poolFingerprint(t, 3, pool)
+		if got != want {
+			t.Fatalf("iteration %d diverged", i)
+		}
+	}
+}

@@ -92,10 +92,14 @@ type Subsystem struct {
 
 	// Parallel execution (see parallel.go). workers is the pool
 	// size (0 = sequential); fastOK gates the inline fast paths and
-	// parallel rounds on the absence of a per-step hook.
-	workers   int
-	fastOK    bool
-	workCh    chan parJob
+	// parallel rounds on the absence of a per-step hook. sharedPool,
+	// when set, replaces the private per-run pool: rounds dispatch
+	// into a host-wide pool fair-shared with other subsystems
+	// (see pool.go).
+	workers    int
+	fastOK     bool
+	workCh     chan parJob
+	sharedPool *SharedPool
 	poolWG    sync.WaitGroup
 	roundWG   sync.WaitGroup
 	active    []*Component // runnable index, lazily compacted
@@ -272,6 +276,22 @@ func (s *Subsystem) SetWorkers(n int) {
 
 // Workers returns the configured worker-pool size (0 = sequential).
 func (s *Subsystem) Workers() int { return s.workers }
+
+// SetPool attaches the subsystem to a shared worker pool: parallel
+// rounds dispatch into p and fair-share its workers with every other
+// attached subsystem, instead of starting a private pool. Overrides
+// SetWorkers while set; pass nil to detach (the caller should also
+// p.Forget(s) to drop the pool-side queue). Only legal between runs.
+func (s *Subsystem) SetPool(p *SharedPool) { s.sharedPool = p }
+
+// poolSize is the effective worker count for round-shaping
+// heuristics, whichever pool flavor is in use.
+func (s *Subsystem) poolSize() int {
+	if s.sharedPool != nil {
+		return s.sharedPool.size
+	}
+	return s.workers
+}
 
 // Components returns the subsystem's components in creation order.
 func (s *Subsystem) Components() []*Component {
@@ -781,7 +801,10 @@ func (s *Subsystem) Run(until vtime.Time) error {
 	// and re-earns it after rollback storms (see optimistic.go).
 	s.effOpt = s.optimism
 	s.optCool, s.optClean = 0, 0
-	if s.workers > 0 {
+	if s.sharedPool != nil {
+		// Rounds dispatch into the shared pool; nothing per-run to
+		// start or join — roundWG already fences every round.
+	} else if s.workers > 0 {
 		s.startPool()
 		defer s.stopPool()
 	}
@@ -982,7 +1005,7 @@ func (s *Subsystem) Run(until vtime.Time) error {
 		// falls strictly inside the safe horizon, dispatch them all
 		// to the worker pool and merge their effects in canonical
 		// order (see parallel.go).
-		if s.workCh != nil && s.fastOK && s.runParallelRound(pi, until) {
+		if (s.workCh != nil || s.sharedPool != nil) && s.fastOK && s.runParallelRound(pi, until) {
 			continue
 		}
 

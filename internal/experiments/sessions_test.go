@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestSessionsExperiment runs a scaled-down version of the bench:
+// every leg must complete with digests matching the isolated
+// references and the determinism probes agreeing.
+func TestSessionsExperiment(t *testing.T) {
+	cfg := DefaultSessionsConfig()
+	cfg.Sessions = 16
+	cfg.Churn = 24
+	cfg.Clients = 4
+	cfg.Workers = []int{0, 2}
+	cfg.Seeds = 6
+
+	rows, err := Sessions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legs := map[string]int{}
+	for _, r := range rows {
+		legs[r.Leg]++
+		if !r.DigestsOK {
+			t.Fatalf("leg %s workers=%d: digests diverged", r.Leg, r.Workers)
+		}
+		switch r.Leg {
+		case "steady":
+			if r.PeakLive != cfg.Sessions {
+				t.Fatalf("steady workers=%d peak live %d, want %d", r.Workers, r.PeakLive, cfg.Sessions)
+			}
+			if r.Steps == 0 {
+				t.Fatalf("steady workers=%d recorded no steps", r.Workers)
+			}
+		case "churn":
+			if r.SessionsPerSec <= 0 {
+				t.Fatalf("churn throughput %v", r.SessionsPerSec)
+			}
+		case "admission":
+			if r.Rejected != int64(cfg.Sessions/2) {
+				t.Fatalf("admission rejected %d, want %d", r.Rejected, cfg.Sessions/2)
+			}
+		case "evict":
+			if r.Evicted != 1 || r.EvictSteps == 0 {
+				t.Fatalf("evict row %+v", r)
+			}
+		}
+	}
+	if legs["steady"] != len(cfg.Workers) || legs["churn"] != 1 || legs["admission"] != 1 || legs["evict"] != 1 {
+		t.Fatalf("leg coverage %v", legs)
+	}
+}

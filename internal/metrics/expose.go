@@ -75,6 +75,15 @@ func splitName(full string) (base, labels string) {
 	return full, ""
 }
 
+// AddLabel renders one more label pair into an already-rendered
+// metric name, creating the `{...}` clause if absent. Aggregators use
+// it to re-emit a child registry's samples under an extra identity
+// label (e.g. session="id") without re-deriving the original name.
+func AddLabel(full, k, v string) string {
+	base, labels := splitName(full)
+	return base + withLabel(labels, k, v)
+}
+
 // withLabel appends one more label to an existing `{...}` clause (or
 // starts one).
 func withLabel(labels, k, v string) string {

@@ -159,6 +159,23 @@ func (n *Node) Host(sub *core.Subsystem) *Hosted {
 	return h
 }
 
+// Unhost removes a hosted subsystem: new dials naming it are
+// rejected at the hello handshake and its hub closes, announcing
+// completion to any peers still attached. The multi-tenant service
+// uses this to retire a stopped session's endpoints from the shared
+// listener. Returns false if the name was not hosted.
+func (n *Node) Unhost(name string) bool {
+	n.mu.Lock()
+	h := n.hosted[name]
+	delete(n.hosted, name)
+	n.mu.Unlock()
+	if h == nil {
+		return false
+	}
+	_ = h.Hub.Close()
+	return true
+}
+
 // Hosted returns the named hosted subsystem, or nil.
 func (n *Node) Hosted(name string) *Hosted {
 	n.mu.Lock()

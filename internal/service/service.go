@@ -1,0 +1,525 @@
+// Package service turns a pianode host into a multi-tenant
+// simulation service: a catalog of independent simulation sessions
+// multiplexed over one node's shared data listener and one shared
+// bounded worker pool.
+//
+// Each session owns a private subsystem named by its session id, so
+// the node's ordinary hello routing (dials name the subsystem they
+// want) is exactly the session-id routing the service needs: a
+// designer attaches to session "s-7" by dialing the shared listener
+// with remote subsystem "s-7". Sessions carry their own seed and
+// config, a revision counter bumped by every lifecycle transition
+// (create, attach, step, stop), a per-session metrics registry, and a
+// running FNV-64a digest over their drive stream — the determinism
+// witness: a tenant's digest must be bit-identical to the same
+// workload run alone in its own process.
+//
+// Admission control and budgets are deterministic: a create that
+// would exceed MaxSessions or the memory budgets is rejected with a
+// typed BudgetError before any resources are built, and a session
+// whose cumulative scheduler steps exceed MaxSteps is evicted at the
+// step boundary that crossed the limit — the same boundary on every
+// run of the same workload.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/vtime"
+)
+
+// Sentinel errors, matchable with errors.Is through the typed
+// wrappers below.
+var (
+	ErrNotFound   = errors.New("no such session")
+	ErrConflict   = errors.New("session conflict")
+	ErrOverBudget = errors.New("over budget")
+	ErrBadSpec    = errors.New("bad session spec")
+	ErrClosed     = errors.New("catalog closed")
+)
+
+// NotFoundError reports an operation on an unknown session id.
+type NotFoundError struct{ ID string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("service: no such session %q", e.ID) }
+func (e *NotFoundError) Unwrap() error { return ErrNotFound }
+
+// ConflictError reports a duplicate create, a lost revision CAS, or
+// an operation illegal in the session's current state.
+type ConflictError struct {
+	ID         string
+	Want, Have uint64 // CAS revisions; zero for non-CAS conflicts
+	Reason     string
+}
+
+func (e *ConflictError) Error() string {
+	if e.Want != 0 {
+		return fmt.Sprintf("service: session %q: %s (want rev %d, have %d)", e.ID, e.Reason, e.Want, e.Have)
+	}
+	return fmt.Sprintf("service: session %q: %s", e.ID, e.Reason)
+}
+func (e *ConflictError) Unwrap() error { return ErrConflict }
+
+// BudgetError reports an admission rejection (Evicted false) or a
+// budget eviction of a live session (Evicted true).
+type BudgetError struct {
+	ID        string
+	Limit     string // "sessions", "memory", "session-memory", "steps"
+	Used, Max int64
+	Evicted   bool
+}
+
+func (e *BudgetError) Error() string {
+	verb := "rejected"
+	if e.Evicted {
+		verb = "evicted"
+	}
+	return fmt.Sprintf("service: session %q %s: %s budget (%d > %d)", e.ID, verb, e.Limit, e.Used, e.Max)
+}
+func (e *BudgetError) Unwrap() error { return ErrOverBudget }
+
+// SpecError reports an invalid session spec or parameter.
+type SpecError struct{ Reason string }
+
+func (e *SpecError) Error() string { return "service: " + e.Reason }
+func (e *SpecError) Unwrap() error { return ErrBadSpec }
+
+// Limits bound what tenants may consume. Zero means unlimited.
+type Limits struct {
+	MaxSessions        int   // concurrent sessions in the catalog
+	MaxMemBytes        int64 // summed footprint of live sessions
+	MaxSessionMemBytes int64 // footprint of any single session
+	MaxSteps           int64 // cumulative scheduler steps per session
+}
+
+// Config configures a Catalog.
+type Config struct {
+	// Workers sizes the shared worker pool fair-shared across all
+	// sessions' parallel rounds. 0 runs every session sequentially.
+	Workers int
+
+	Limits Limits
+
+	// Node, when set, hosts every session's subsystem under the
+	// session id so designers can attach over the node's shared data
+	// listener.
+	Node *node.Node
+
+	// Metrics, when set, receives the catalog-level series and an
+	// aggregation of every session's private registry with a
+	// session="<id>" label added to each sample.
+	Metrics *metrics.Registry
+}
+
+// Catalog is the session catalog: the service's source of truth for
+// which sessions exist, their lifecycle state, and their budgets.
+type Catalog struct {
+	cfg  Config
+	pool *core.SharedPool
+
+	mu        sync.Mutex
+	sessions  map[string]*Session
+	rev       uint64 // catalog revision: bumps on create/step/stop/evict
+	nextID    uint64
+	closed    bool
+	footprint int64 // summed live-session footprints
+
+	created, stopped, evicted, rejected int64
+}
+
+// NewCatalog builds a catalog, starting the shared pool when
+// cfg.Workers > 0 and registering the aggregation collector when
+// cfg.Metrics is set.
+func NewCatalog(cfg Config) *Catalog {
+	c := &Catalog{cfg: cfg, sessions: make(map[string]*Session)}
+	if cfg.Workers > 0 {
+		c.pool = core.NewSharedPool(cfg.Workers)
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.AddCollector(c.collect)
+	}
+	return c
+}
+
+// Create admits and builds a new session. The id is taken from the
+// spec or allocated; duplicates are a ConflictError, budget misses a
+// BudgetError (counted as rejections), bad specs a SpecError.
+func (c *Catalog) Create(spec Spec) (Info, error) {
+	wl, err := newWorkload(&spec)
+	if err != nil {
+		return Info{}, err
+	}
+	fp := wl.Footprint()
+
+	sess := &Session{spec: spec, wl: wl, state: StateReady, rev: 1, digest: fnv.New64a()}
+	// The session lock is held across the build below so a concurrent
+	// Step/Stop that finds the session in the map blocks until the
+	// subsystem exists. Lock order is always session → catalog.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Info{}, ErrClosed
+	}
+	id := spec.ID
+	if id == "" {
+		c.nextID++
+		id = fmt.Sprintf("s-%d", c.nextID)
+	}
+	if _, dup := c.sessions[id]; dup {
+		c.mu.Unlock()
+		return Info{}, &ConflictError{ID: id, Reason: "session id already exists"}
+	}
+	if max := c.cfg.Limits.MaxSessions; max > 0 && len(c.sessions) >= max {
+		c.rejected++
+		c.mu.Unlock()
+		return Info{}, &BudgetError{ID: id, Limit: "sessions", Used: int64(len(c.sessions) + 1), Max: int64(max)}
+	}
+	if max := c.cfg.Limits.MaxSessionMemBytes; max > 0 && fp > max {
+		c.rejected++
+		c.mu.Unlock()
+		return Info{}, &BudgetError{ID: id, Limit: "session-memory", Used: fp, Max: max}
+	}
+	if max := c.cfg.Limits.MaxMemBytes; max > 0 && c.footprint+fp > max {
+		c.rejected++
+		c.mu.Unlock()
+		return Info{}, &BudgetError{ID: id, Limit: "memory", Used: c.footprint + fp, Max: max}
+	}
+	sess.id = id
+	sess.spec.ID = id
+	c.sessions[id] = sess
+	c.footprint += fp
+	c.created++
+	c.rev++
+	c.mu.Unlock()
+
+	if err := c.build(sess); err != nil {
+		c.mu.Lock()
+		delete(c.sessions, id)
+		c.footprint -= fp
+		c.created--
+		c.rev++
+		c.mu.Unlock()
+		return Info{}, err
+	}
+	return sess.infoLocked(), nil
+}
+
+// build constructs the session's subsystem, workload, digest tap,
+// metrics registry and node hosting. Called with sess.mu held.
+func (c *Catalog) build(sess *Session) error {
+	sub := core.NewSubsystem(sess.id)
+	sess.sub = sub
+	sub.OnDrive = func(net, src string, t vtime.Time, v any) {
+		sess.dmu.Lock()
+		fmt.Fprintf(sess.digest, "%s|%s|%d|%v\n", net, src, t, v)
+		sess.dmu.Unlock()
+	}
+	if err := sess.wl.Install(sub); err != nil {
+		return &SpecError{Reason: fmt.Sprintf("install %s: %v", sess.spec.Workload, err)}
+	}
+	if c.pool != nil {
+		sub.SetPool(c.pool)
+	}
+	if c.cfg.Metrics != nil {
+		sess.reg = metrics.NewRegistry()
+		sub.EnableMetrics(sess.reg)
+	}
+	if c.cfg.Node != nil {
+		h := c.cfg.Node.Host(sub)
+		h.OnChannel = sess.onChannel
+		// Peers may attach and inject at any time: the scheduler must
+		// park instead of exiting when the event queue drains.
+		sub.AddExternal()
+		sess.hosted = true
+	}
+	if sess.spec.AutoRun {
+		sess.startAuto()
+	}
+	return nil
+}
+
+// lookup returns the live session or a typed not-found error.
+func (c *Catalog) lookup(id string) (*Session, error) {
+	c.mu.Lock()
+	sess := c.sessions[id]
+	c.mu.Unlock()
+	if sess == nil {
+		return nil, &NotFoundError{ID: id}
+	}
+	return sess, nil
+}
+
+// Get returns a point-in-time view of one session.
+func (c *Catalog) Get(id string) (Info, error) {
+	sess, err := c.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.infoLocked(), nil
+}
+
+// List returns every live session, sorted by id, plus the catalog
+// revision at the time of the copy.
+func (c *Catalog) List() ([]Info, uint64) {
+	c.mu.Lock()
+	rev := c.rev
+	all := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		all = append(all, s)
+	}
+	c.mu.Unlock()
+	infos := make([]Info, 0, len(all))
+	for _, s := range all {
+		s.mu.Lock()
+		infos = append(infos, s.infoLocked())
+		s.mu.Unlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos, rev
+}
+
+// Step advances the session's virtual time by d (or to the
+// workload's horizon when d <= 0) and bumps its revision. rev, when
+// non-zero, is a compare-and-swap precondition on the current
+// revision. Crossing the step budget evicts the session and reports
+// a BudgetError with Evicted set.
+func (c *Catalog) Step(id string, rev uint64, d vtime.Duration) (Info, error) {
+	sess, err := c.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if rev != 0 && rev != sess.rev {
+		return sess.infoLocked(), &ConflictError{ID: id, Want: rev, Have: sess.rev, Reason: "revision mismatch"}
+	}
+	switch sess.state {
+	case StateEvicted:
+		return sess.infoLocked(), &BudgetError{ID: id, Limit: sess.evictLimit, Used: sess.evictUsed, Max: sess.evictMax, Evicted: true}
+	case StateFailed:
+		return sess.infoLocked(), fmt.Errorf("service: session %q failed: %w", id, sess.runErr)
+	case StateDone:
+		return sess.infoLocked(), nil // idempotent: nothing left to run
+	case StateRunning:
+		return sess.infoLocked(), &ConflictError{ID: id, Reason: "session is free-running (created with auto_run)"}
+	case StateStopped:
+		return sess.infoLocked(), &NotFoundError{ID: id}
+	}
+	if d <= 0 {
+		h := sess.wl.Horizon()
+		if h == vtime.Infinity {
+			return sess.infoLocked(), &SpecError{Reason: fmt.Sprintf("workload %s is unbounded: step needs an explicit until", sess.spec.Workload)}
+		}
+		if sess.cursor < h {
+			sess.cursor = h
+		}
+	} else {
+		sess.cursor = sess.cursor.Add(d)
+	}
+	runErr := sess.sub.Run(sess.cursor)
+	sess.rev++
+	c.bumpRev()
+	if runErr != nil && !errors.Is(runErr, core.ErrStopped) {
+		sess.state = StateFailed
+		sess.runErr = runErr
+		return sess.infoLocked(), runErr
+	}
+	if h := sess.wl.Horizon(); (h != vtime.Infinity && sess.cursor >= h) || sess.sub.NextEventTime() == vtime.Infinity {
+		sess.state = StateDone
+	}
+	if max := c.cfg.Limits.MaxSteps; max > 0 {
+		if steps := sess.sub.Stats().Steps; steps > max {
+			c.evictLocked(sess, "steps", steps, max)
+			return sess.infoLocked(), &BudgetError{ID: id, Limit: "steps", Used: steps, Max: max, Evicted: true}
+		}
+	}
+	return sess.infoLocked(), nil
+}
+
+// Stop tears the session down and removes it from the catalog. rev,
+// when non-zero, is a CAS precondition. Stopping an evicted session
+// just removes the record (it was already torn down).
+func (c *Catalog) Stop(id string, rev uint64) (Info, error) {
+	sess, err := c.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	sess.mu.Lock()
+	if rev != 0 && rev != sess.rev {
+		defer sess.mu.Unlock()
+		return sess.infoLocked(), &ConflictError{ID: id, Want: rev, Have: sess.rev, Reason: "revision mismatch"}
+	}
+	if sess.state == StateStopped { // lost a concurrent Stop race
+		sess.mu.Unlock()
+		return Info{}, &NotFoundError{ID: id}
+	}
+	if sess.state == StateRunning {
+		// Halt the free-running scheduler without holding the lock
+		// (the watcher goroutine takes it to record the outcome).
+		sess.sub.Stop()
+		done := sess.runDone
+		sess.mu.Unlock()
+		<-done
+		sess.mu.Lock()
+	}
+	wasEvicted := sess.state == StateEvicted
+	if !wasEvicted {
+		c.teardownLocked(sess)
+	}
+	sess.state = StateStopped
+	sess.rev++
+	info := sess.infoLocked()
+	sess.mu.Unlock()
+
+	c.mu.Lock()
+	if _, ok := c.sessions[id]; ok {
+		delete(c.sessions, id)
+		c.stopped++
+		if !wasEvicted {
+			c.footprint -= sess.wl.Footprint()
+		}
+		c.rev++
+	}
+	c.mu.Unlock()
+	return info, nil
+}
+
+// evictLocked forcibly retires an over-budget session: teardown,
+// unhost, pool detach. The record stays in the catalog (state
+// evicted) so the tenant can observe why; Stop removes it. Called
+// with sess.mu held.
+func (c *Catalog) evictLocked(sess *Session, limit string, used, max int64) {
+	sess.state = StateEvicted
+	sess.evictLimit, sess.evictUsed, sess.evictMax = limit, used, max
+	sess.rev++
+	c.teardownLocked(sess)
+	c.mu.Lock()
+	c.evicted++
+	c.footprint -= sess.wl.Footprint()
+	c.rev++
+	c.mu.Unlock()
+}
+
+// teardownLocked releases a session's runtime resources. Called with
+// sess.mu held and the session not running.
+func (c *Catalog) teardownLocked(sess *Session) {
+	if sess.sub == nil {
+		return
+	}
+	sess.sub.Teardown()
+	if sess.hosted {
+		c.cfg.Node.Unhost(sess.id)
+		sess.hosted = false
+	}
+	if c.pool != nil {
+		c.pool.Forget(sess.sub)
+	}
+}
+
+func (c *Catalog) bumpRev() {
+	c.mu.Lock()
+	c.rev++
+	c.mu.Unlock()
+}
+
+// Revision returns the catalog revision: a counter bumped by every
+// lifecycle transition of any session.
+func (c *Catalog) Revision() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rev
+}
+
+// Stats is a point-in-time summary of catalog-level counters.
+type Stats struct {
+	Live      int   `json:"live"`
+	Created   int64 `json:"created"`
+	Stopped   int64 `json:"stopped"`
+	Evicted   int64 `json:"evicted"`
+	Rejected  int64 `json:"rejected"`
+	Footprint int64 `json:"footprint_bytes"`
+}
+
+// Stats returns the catalog counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Live:      len(c.sessions),
+		Created:   c.created,
+		Stopped:   c.stopped,
+		Evicted:   c.evicted,
+		Rejected:  c.rejected,
+		Footprint: c.footprint,
+	}
+}
+
+// Close stops every session and joins the shared pool. Creates after
+// Close fail with ErrClosed.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	c.closed = true
+	ids := make([]string, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		_, _ = c.Stop(id, 0)
+	}
+	if c.pool != nil {
+		c.pool.Close()
+	}
+}
+
+// collect is the aggregation collector registered on the shared
+// registry: catalog-level series plus every session's private
+// registry re-emitted with a session="<id>" label. Lock order note:
+// the shared registry's lock is held around this call, and we take
+// only the catalog lock inside — never a path that re-enters the
+// shared registry.
+func (c *Catalog) collect(emit func(metrics.Sample)) {
+	c.mu.Lock()
+	all := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		all = append(all, s)
+	}
+	counters := []struct {
+		name string
+		kind string
+		v    int64
+	}{
+		{"pia_service_sessions_live", metrics.KindGauge, int64(len(c.sessions))},
+		{"pia_service_footprint_bytes", metrics.KindGauge, c.footprint},
+		{"pia_service_catalog_revision", metrics.KindGauge, int64(c.rev)},
+		{"pia_service_sessions_created", metrics.KindCounter, c.created},
+		{"pia_service_sessions_stopped", metrics.KindCounter, c.stopped},
+		{"pia_service_sessions_evicted", metrics.KindCounter, c.evicted},
+		{"pia_service_sessions_rejected", metrics.KindCounter, c.rejected},
+	}
+	c.mu.Unlock()
+	for _, kv := range counters {
+		emit(metrics.Sample{Name: kv.name, Kind: kv.kind, Value: kv.v})
+	}
+	for _, s := range all {
+		if s.reg == nil {
+			continue
+		}
+		for _, smp := range s.reg.Snapshot() {
+			smp.Name = metrics.AddLabel(smp.Name, "session", s.id)
+			emit(smp)
+		}
+	}
+}

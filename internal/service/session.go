@@ -1,0 +1,144 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// State is a session's lifecycle state.
+type State string
+
+const (
+	StateReady   State = "ready"   // created; advances via Step
+	StateRunning State = "running" // free-running (auto_run) scheduler goroutine
+	StateDone    State = "done"    // workload exhausted or horizon reached
+	StateFailed  State = "failed"  // a component returned an error
+	StateEvicted State = "evicted" // torn down by a budget; record remains
+	StateStopped State = "stopped" // terminal; removed from the catalog
+)
+
+// Session is one tenant's simulation: a private subsystem (named by
+// the session id, which is also its address on the node's shared
+// listener), its workload, revision counter, drive digest and
+// private metrics registry.
+type Session struct {
+	id   string
+	spec Spec
+	wl   Workload
+
+	// dmu guards the drive digest: the scheduler goroutine appends
+	// during Run while /healthz, /metrics and List read point-in-time
+	// sums.
+	dmu    sync.Mutex
+	digest hash.Hash64
+
+	// mu guards everything below and serializes lifecycle operations;
+	// lock order is session → catalog.
+	mu       sync.Mutex
+	sub      *core.Subsystem
+	reg      *metrics.Registry // private; aggregated by Catalog.collect
+	state    State
+	rev      uint64
+	cursor   vtime.Time // accumulated Step horizon (deterministic quanta)
+	attached int64      // endpoints accepted for this session
+	hosted   bool
+	runErr   error
+	runDone  chan error // auto_run watcher completion
+
+	evictLimit          string
+	evictUsed, evictMax int64
+}
+
+// Info is a point-in-time, JSON-serializable view of a session.
+type Info struct {
+	ID        string `json:"id"`
+	Workload  string `json:"workload"`
+	Seed      int64  `json:"seed"`
+	State     State  `json:"state"`
+	Rev       uint64 `json:"rev"`
+	Attached  int64  `json:"attached"`
+	VirtNowNS int64  `json:"virt_now_ns"`
+	Steps     int64  `json:"steps"`
+	Drives    int64  `json:"drives"`
+	Digest    string `json:"drive_digest"`
+	DigestU64 uint64 `json:"-"`
+	Footprint int64  `json:"footprint_bytes"`
+	Error     string `json:"error,omitempty"`
+}
+
+// infoLocked snapshots the session. Called with sess.mu held; safe
+// while an auto_run scheduler is live because it reads only atomic
+// surfaces (PublishedTimes, Stats) and the dmu-guarded digest.
+func (s *Session) infoLocked() Info {
+	info := Info{
+		ID:        s.id,
+		Workload:  s.spec.Workload,
+		Seed:      s.spec.Seed,
+		State:     s.state,
+		Rev:       s.rev,
+		Attached:  s.attached,
+		Footprint: s.wl.Footprint(),
+	}
+	if s.sub != nil {
+		now, _ := s.sub.PublishedTimes()
+		info.VirtNowNS = int64(now)
+		st := s.sub.Stats()
+		info.Steps = st.Steps
+		info.Drives = st.Drives
+	}
+	s.dmu.Lock()
+	info.DigestU64 = s.digest.Sum64()
+	s.dmu.Unlock()
+	info.Digest = fmt.Sprintf("%016x", info.DigestU64)
+	if s.runErr != nil {
+		info.Error = s.runErr.Error()
+	}
+	return info
+}
+
+// onChannel is the node's accept hook for this session: it records
+// the attachment (bumping the revision — attach is a lifecycle
+// event) and lets the workload bind its split nets.
+func (s *Session) onChannel(ep *channel.Endpoint) {
+	s.mu.Lock()
+	s.attached++
+	s.rev++
+	sub := s.sub
+	s.mu.Unlock()
+	if a, ok := s.wl.(Attacher); ok {
+		a.Attach(sub, ep)
+	}
+}
+
+// startAuto launches the free-running scheduler for auto_run
+// sessions and a watcher that records how it ended. Called with
+// sess.mu held, from build.
+func (s *Session) startAuto() {
+	s.state = StateRunning
+	s.runDone = make(chan error, 1)
+	go func() {
+		err := s.sub.Run(vtime.Infinity)
+		s.mu.Lock()
+		if s.state == StateRunning {
+			switch {
+			case err == nil:
+				s.state = StateDone
+			case errors.Is(err, core.ErrStopped):
+				// Stop is mid-flight; it owns the transition.
+			default:
+				s.state = StateFailed
+				s.runErr = err
+			}
+			s.rev++
+		}
+		s.mu.Unlock()
+		s.runDone <- err
+	}()
+}

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/vtime"
+	"repro/internal/wubbleu"
+)
+
+// Spec is a session's creation request: which workload, its seed,
+// and its shape. Zero-valued shape fields take workload defaults.
+type Spec struct {
+	ID       string `json:"id,omitempty"`
+	Workload string `json:"workload,omitempty"` // "fan" (default) or "modemsite"
+	Seed     int64  `json:"seed,omitempty"`
+
+	// AutoRun launches a free-running scheduler at create time
+	// (sessions designers attach to and co-simulate against) instead
+	// of advancing under explicit Step calls.
+	AutoRun bool `json:"auto_run,omitempty"`
+
+	// fan shape
+	Fanout    int `json:"fanout,omitempty"`
+	Rounds    int `json:"rounds,omitempty"`
+	WorkIters int `json:"work_iters,omitempty"`
+
+	// modemsite shape
+	PageKB int    `json:"page_kb,omitempty"`
+	Images int    `json:"images,omitempty"`
+	Level  string `json:"level,omitempty"`
+}
+
+// Workload builds a session's component graph and declares its
+// resource envelope.
+type Workload interface {
+	// Footprint is the session's accounted memory cost in bytes —
+	// the admission-control currency. An estimate, but a
+	// deterministic one: the same spec always accounts the same.
+	Footprint() int64
+	// Horizon is the virtual time by which the workload is finished,
+	// or vtime.Infinity for open-ended (attach-driven) workloads.
+	Horizon() vtime.Time
+	// Install builds the components into the session's subsystem.
+	Install(sub *core.Subsystem) error
+}
+
+// Attacher is implemented by workloads that accept designer
+// endpoints over the node's shared listener.
+type Attacher interface {
+	Attach(sub *core.Subsystem, ep *channel.Endpoint)
+}
+
+const (
+	WorkloadFan       = "fan"
+	WorkloadModemSite = "modemsite"
+)
+
+// newWorkload validates the spec, fills defaults in place, and
+// builds the workload.
+func newWorkload(spec *Spec) (Workload, error) {
+	if spec.Workload == "" {
+		spec.Workload = WorkloadFan
+	}
+	switch spec.Workload {
+	case WorkloadFan:
+		if spec.Fanout <= 0 {
+			spec.Fanout = 4
+		}
+		if spec.Rounds <= 0 {
+			spec.Rounds = 8
+		}
+		if spec.WorkIters <= 0 {
+			spec.WorkIters = 256
+		}
+		if spec.Fanout > 1024 {
+			return nil, &SpecError{Reason: fmt.Sprintf("fanout %d exceeds 1024", spec.Fanout)}
+		}
+		if spec.Rounds > 1_000_000 {
+			return nil, &SpecError{Reason: fmt.Sprintf("rounds %d exceeds 1000000", spec.Rounds)}
+		}
+		return &fanWorkload{spec: *spec}, nil
+	case WorkloadModemSite:
+		cfg := wubbleu.DefaultConfig()
+		if spec.PageKB > 0 {
+			cfg.PageSize = spec.PageKB * 1024
+		}
+		if spec.Images > 0 {
+			cfg.Images = spec.Images
+		}
+		if spec.Level != "" {
+			cfg.Level = spec.Level
+		}
+		return &modemWorkload{spec: *spec, cfg: cfg}, nil
+	default:
+		return nil, &SpecError{Reason: fmt.Sprintf("unknown workload %q", spec.Workload)}
+	}
+}
+
+// ---- fan: a seeded synthetic fan-out/compute workload ----
+//
+// One source broadcasts Rounds seeded jobs on a shared net; Fanout
+// services each hash every job for WorkIters xorshift iterations and
+// emit a result on a private lane. All activity is pure virtual time
+// (no wall sleeps), values derive from the seed, and every emission
+// is a net drive — so the session digest is a dense witness of the
+// whole computation.
+
+const fanPeriod = 10 * vtime.Millisecond
+
+type fanWorkload struct{ spec Spec }
+
+func (w *fanWorkload) Footprint() int64 {
+	return int64(w.spec.Fanout+2) * 32 * 1024
+}
+
+func (w *fanWorkload) Horizon() vtime.Time {
+	return vtime.Time(0).Add(vtime.Duration(w.spec.Rounds+2) * fanPeriod)
+}
+
+func (w *fanWorkload) Install(sub *core.Subsystem) error {
+	jobs, err := sub.NewNet("jobs", vtime.Millisecond)
+	if err != nil {
+		return err
+	}
+	src, err := sub.NewComponent("source", &fanSource{
+		rounds: w.spec.Rounds,
+		state:  mix(uint64(w.spec.Seed)),
+	})
+	if err != nil {
+		return err
+	}
+	src.AddPort("out")
+	if err := sub.Connect(jobs, src.Port("out")); err != nil {
+		return err
+	}
+	for i := 0; i < w.spec.Fanout; i++ {
+		lane, err := sub.NewNet(fmt.Sprintf("lane%d", i), vtime.Millisecond)
+		if err != nil {
+			return err
+		}
+		c, err := sub.NewComponent(fmt.Sprintf("svc%d", i), &fanService{
+			iters: w.spec.WorkIters,
+			salt:  mix(uint64(w.spec.Seed) ^ uint64(i+1)),
+			cost:  vtime.Duration(i%7+1) * 100 * vtime.Microsecond,
+		})
+		if err != nil {
+			return err
+		}
+		c.AddPort("in")
+		c.AddPort("out")
+		if err := sub.Connect(jobs, c.Port("in")); err != nil {
+			return err
+		}
+		if err := sub.Connect(lane, c.Port("out")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mix is splitmix64's finalizer: spreads small seeds across the word.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+type fanSource struct {
+	rounds int
+	state  uint64
+}
+
+func (f *fanSource) Run(p *core.Proc) error {
+	for i := 0; i < f.rounds; i++ {
+		f.state = xorshift(f.state | 1)
+		p.Send("out", int(f.state>>16))
+		p.Delay(fanPeriod)
+	}
+	return nil
+}
+
+type fanService struct {
+	iters int
+	salt  uint64
+	cost  vtime.Duration
+}
+
+func (s *fanService) Run(p *core.Proc) error {
+	for {
+		m, ok := p.Recv("in")
+		if !ok {
+			return nil
+		}
+		x := uint64(m.Value.(int)) ^ s.salt
+		for i := 0; i < s.iters; i++ {
+			x = xorshift(x | 1)
+		}
+		p.Advance(s.cost)
+		p.Send("out", int(x>>16))
+	}
+}
+
+// ---- modemsite: the paper's remote modem-site half ----
+//
+// The WubbleU modem-site fragment (ASIC + dedicated server) hosted
+// as a tenant: a designer's handheld half attaches over the node's
+// shared listener by dialing the session id and binding the split
+// "dma" net, exactly as the single-tenant pianode mode works.
+
+type modemWorkload struct {
+	spec Spec
+	cfg  wubbleu.Config
+}
+
+func (w *modemWorkload) Footprint() int64 {
+	return int64(w.cfg.PageSize)*int64(w.cfg.Images+1) + 256*1024
+}
+
+func (w *modemWorkload) Horizon() vtime.Time { return vtime.Infinity }
+
+func (w *modemWorkload) Install(sub *core.Subsystem) error {
+	_, err := wubbleu.InstallModemSite(sub, w.cfg)
+	return err
+}
+
+func (w *modemWorkload) Attach(sub *core.Subsystem, ep *channel.Endpoint) {
+	_ = ep.BindNet(sub.Net("dma"), "dma")
+}
