@@ -29,7 +29,8 @@ func TestAttachOverSharedListener(t *testing.T) {
 	cfg := wubbleu.DefaultConfig()
 	cfg.PageSize = 4 * 1024
 	cfg.Images = 1
-	spec := Spec{Workload: WorkloadModemSite, AutoRun: true,
+	autoRun := true
+	spec := Spec{Workload: WorkloadModemSite, AutoRun: &autoRun,
 		PageKB: cfg.PageSize / 1024, Images: cfg.Images}
 
 	var infos []Info

@@ -137,12 +137,10 @@ func specFromRequest(r *http.Request) (Spec, error) {
 		if err != nil {
 			return Spec{}, &SpecError{Reason: "run must be a boolean"}
 		}
-		spec.AutoRun = b
-	} else if r.Form.Get("workload") == WorkloadModemSite {
-		// Attach-driven workloads default to free-running so a
-		// designer can dial in and co-simulate immediately.
-		spec.AutoRun = true
+		spec.AutoRun = &b
 	}
+	// Workload-dependent auto_run defaults live in newWorkload so
+	// JSON-body creates resolve identically.
 	return spec, nil
 }
 

@@ -97,6 +97,45 @@ func TestHTTPSessionAPI(t *testing.T) {
 	}
 }
 
+// TestAutoRunDefaultEncodingParity: the same logical create request
+// must resolve the same auto_run whether it arrives as a JSON body or
+// as form/query parameters — the modemsite free-running default lives
+// in newWorkload, shared by both decode paths.
+func TestAutoRunDefaultEncodingParity(t *testing.T) {
+	jsonReq := func(body string) *http.Request {
+		r := httptest.NewRequest("POST", "/sessions", strings.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		return r
+	}
+	formReq := func(query string) *http.Request {
+		return httptest.NewRequest("POST", "/sessions?"+query, nil)
+	}
+	cases := []struct {
+		name string
+		req  *http.Request
+		want bool
+	}{
+		{"json modemsite default", jsonReq(`{"workload":"modemsite"}`), true},
+		{"form modemsite default", formReq("workload=modemsite"), true},
+		{"json modemsite explicit off", jsonReq(`{"workload":"modemsite","auto_run":false}`), false},
+		{"form modemsite explicit off", formReq("workload=modemsite&run=false"), false},
+		{"json fan default", jsonReq(`{"workload":"fan"}`), false},
+		{"form fan explicit on", formReq("workload=fan&run=true"), true},
+	}
+	for _, tc := range cases {
+		spec, err := specFromRequest(tc.req)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if _, err := newWorkload(&spec); err != nil {
+			t.Fatalf("%s: newWorkload: %v", tc.name, err)
+		}
+		if spec.AutoRun == nil || *spec.AutoRun != tc.want {
+			t.Fatalf("%s: auto_run resolved to %v, want %v", tc.name, spec.AutoRun, tc.want)
+		}
+	}
+}
+
 func jsonNum(f float64) string {
 	b, _ := json.Marshal(uint64(f))
 	return string(b)

@@ -132,6 +132,12 @@ type Catalog struct {
 	footprint int64 // summed live-session footprints
 
 	created, stopped, evicted, rejected int64
+
+	// buildFailpoint, when non-nil (tests only), runs mid-build and
+	// may inject a failure: the rollback path runs after the session
+	// is already published in c.sessions and has to bounce concurrent
+	// lookups, so it needs a deterministic trigger.
+	buildFailpoint func() error
 }
 
 // NewCatalog builds a catalog, starting the shared pool when
@@ -203,6 +209,12 @@ func (c *Catalog) Create(spec Spec) (Info, error) {
 	c.mu.Unlock()
 
 	if err := c.build(sess); err != nil {
+		// A concurrent Step/Stop may already hold the session pointer
+		// and be parked on sess.mu; flip the state before the deferred
+		// unlock so late lookups bounce with NotFound instead of
+		// running the half-built subsystem.
+		sess.state = StateStopped
+		c.teardownLocked(sess)
 		c.mu.Lock()
 		delete(c.sessions, id)
 		c.footprint -= fp
@@ -227,6 +239,11 @@ func (c *Catalog) build(sess *Session) error {
 	if err := sess.wl.Install(sub); err != nil {
 		return &SpecError{Reason: fmt.Sprintf("install %s: %v", sess.spec.Workload, err)}
 	}
+	if c.buildFailpoint != nil {
+		if err := c.buildFailpoint(); err != nil {
+			return err
+		}
+	}
 	if c.pool != nil {
 		sub.SetPool(c.pool)
 	}
@@ -242,7 +259,7 @@ func (c *Catalog) build(sess *Session) error {
 		sub.AddExternal()
 		sess.hosted = true
 	}
-	if sess.spec.AutoRun {
+	if sess.spec.AutoRun != nil && *sess.spec.AutoRun {
 		sess.startAuto()
 	}
 	return nil
@@ -305,6 +322,9 @@ func (c *Catalog) Step(id string, rev uint64, d vtime.Duration) (Info, error) {
 	if rev != 0 && rev != sess.rev {
 		return sess.infoLocked(), &ConflictError{ID: id, Want: rev, Have: sess.rev, Reason: "revision mismatch"}
 	}
+	if sess.stepping {
+		return sess.infoLocked(), &ConflictError{ID: id, Reason: "a step is already in progress"}
+	}
 	switch sess.state {
 	case StateEvicted:
 		return sess.infoLocked(), &BudgetError{ID: id, Limit: sess.evictLimit, Used: sess.evictUsed, Max: sess.evictMax, Evicted: true}
@@ -328,7 +348,20 @@ func (c *Catalog) Step(id string, rev uint64, d vtime.Duration) (Info, error) {
 	} else {
 		sess.cursor = sess.cursor.Add(d)
 	}
-	runErr := sess.sub.Run(sess.cursor)
+	// Run without the session lock so read-only endpoints (Get, List,
+	// /metrics, /healthz) stay responsive during a long step — hosted
+	// sessions can stall in Run waiting on a peer's safe-time. The
+	// stepping flag makes concurrent lifecycle ops conflict instead of
+	// queueing, and stepDone lets Stop wait for the run to settle.
+	sess.stepping = true
+	sess.stepDone = make(chan struct{})
+	cursor, sub := sess.cursor, sess.sub
+	sess.mu.Unlock()
+	runErr := sub.Run(cursor)
+	sess.mu.Lock()
+	sess.stepping = false
+	close(sess.stepDone)
+	sess.stepDone = nil
 	sess.rev++
 	c.bumpRev()
 	if runErr != nil && !errors.Is(runErr, core.ErrStopped) {
@@ -365,14 +398,26 @@ func (c *Catalog) Stop(id string, rev uint64) (Info, error) {
 		sess.mu.Unlock()
 		return Info{}, &NotFoundError{ID: id}
 	}
+	// Halt a live scheduler — the auto_run goroutine or an in-flight
+	// Step — without holding the lock (the runner takes it to record
+	// the outcome). Both channels are closed once the run settles, so
+	// every racing Stop wakes; only the first to re-acquire the lock
+	// tears down, the rest bounce on the StateStopped re-check.
+	var done chan struct{}
 	if sess.state == StateRunning {
-		// Halt the free-running scheduler without holding the lock
-		// (the watcher goroutine takes it to record the outcome).
+		done = sess.runDone
+	} else if sess.stepping {
+		done = sess.stepDone
+	}
+	if done != nil {
 		sess.sub.Stop()
-		done := sess.runDone
 		sess.mu.Unlock()
 		<-done
 		sess.mu.Lock()
+		if sess.state == StateStopped { // lost a concurrent Stop race
+			sess.mu.Unlock()
+			return Info{}, &NotFoundError{ID: id}
+		}
 	}
 	wasEvicted := sess.state == StateEvicted
 	if !wasEvicted {
@@ -514,11 +559,18 @@ func (c *Catalog) collect(emit func(metrics.Sample)) {
 		emit(metrics.Sample{Name: kv.name, Kind: kv.kind, Value: kv.v})
 	}
 	for _, s := range all {
-		if s.reg == nil {
+		// s.reg is written by build() under s.mu after the session is
+		// already published in c.sessions, so it must be read under the
+		// same lock. Steps release s.mu while the scheduler runs, so a
+		// scrape never blocks behind a long step.
+		s.mu.Lock()
+		id, reg := s.id, s.reg
+		s.mu.Unlock()
+		if reg == nil {
 			continue
 		}
-		for _, smp := range s.reg.Snapshot() {
-			smp.Name = metrics.AddLabel(smp.Name, "session", s.id)
+		for _, smp := range reg.Snapshot() {
+			smp.Name = metrics.AddLabel(smp.Name, "session", id)
 			emit(smp)
 		}
 	}

@@ -3,10 +3,13 @@ package service
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
@@ -276,8 +279,29 @@ func TestServiceChurn(t *testing.T) {
 	for i := range refs {
 		refs[i] = isolatedDigest(t, Spec{Seed: int64(i), Fanout: 2 + i, Rounds: 5})
 	}
-	c := NewCatalog(Config{Workers: 4})
+	reg := metrics.NewRegistry()
+	c := NewCatalog(Config{Workers: 4, Metrics: reg})
 	defer c.Close()
+
+	// Scrape continuously while sessions churn: Catalog.collect reads
+	// each session's private registry, which build() publishes after
+	// the session is visible in the catalog.
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+	defer scrapeWG.Wait()
+	defer close(stopScrape)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, clients*perClient)
@@ -356,6 +380,137 @@ func TestMetricsAggregation(t *testing.T) {
 	}
 	if _, ok := byName[`pia_sched_steps{sub="beta",session="beta"}`]; !ok {
 		t.Fatalf("beta series missing from aggregate scrape")
+	}
+}
+
+// TestConcurrentStopRunning: racing DELETEs on a free-running session
+// (a client retry, or Catalog.Close racing an HTTP DELETE) must all
+// return — exactly one wins, the rest bounce with NotFound. Regression
+// test for the one-shot runDone send that left every loser blocked on
+// the channel forever.
+func TestConcurrentStopRunning(t *testing.T) {
+	autoRun := true
+	c := NewCatalog(Config{})
+	defer c.Close()
+	info, err := c.Create(Spec{AutoRun: &autoRun, Rounds: 100_000, WorkIters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stoppers = 8
+	errs := make(chan error, stoppers)
+	var wg sync.WaitGroup
+	for i := 0; i < stoppers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Stop(info.ID, 0)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	var ok, notFound int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrNotFound):
+			notFound++
+		default:
+			t.Fatalf("concurrent stop: %v", err)
+		}
+	}
+	if ok != 1 || notFound != stoppers-1 {
+		t.Fatalf("concurrent stops: %d succeeded, %d not-found; want 1 and %d", ok, notFound, stoppers-1)
+	}
+}
+
+// TestStopDuringStep: while a Step runs the scheduler, the session
+// lock is released — Get stays responsive, a second Step conflicts
+// instead of queueing, and Stop halts the run and reaps the session.
+func TestStopDuringStep(t *testing.T) {
+	c := NewCatalog(Config{})
+	defer c.Close()
+	info, err := c.Create(Spec{Rounds: 100_000, WorkIters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepErr := make(chan error, 1)
+	go func() {
+		_, err := c.Step(info.ID, 0, 0)
+		stepErr <- err
+	}()
+	// Get must not block behind the in-flight step; poll it until the
+	// scheduler has demonstrably started.
+	for {
+		got, err := c.Get(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Steps > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	if _, err := c.Step(info.ID, 0, stepChunk); !errors.Is(err, ErrConflict) {
+		t.Fatalf("concurrent step: %v, want ErrConflict", err)
+	}
+	if _, err := c.Stop(info.ID, 0); err != nil {
+		t.Fatalf("stop during step: %v", err)
+	}
+	if err := <-stepErr; err != nil && !errors.Is(err, core.ErrStopped) {
+		t.Fatalf("interrupted step: %v", err)
+	}
+	if _, err := c.Get(info.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after stop: %v", err)
+	}
+}
+
+// TestCreateRollbackBouncesLateLookups: when build fails after the
+// session is already published in the catalog, a Step that grabbed the
+// session pointer during the window must bounce with NotFound — not
+// run the half-built subsystem — and the catalog must roll back its
+// counters and release the id.
+func TestCreateRollbackBouncesLateLookups(t *testing.T) {
+	c := NewCatalog(Config{})
+	defer c.Close()
+	release := make(chan struct{})
+	c.buildFailpoint = func() error {
+		<-release
+		return &SpecError{Reason: "injected build failure"}
+	}
+	createErr := make(chan error, 1)
+	go func() {
+		_, err := c.Create(Spec{ID: "ghost"})
+		createErr <- err
+	}()
+	// The session is visible in the catalog while build is in flight.
+	for {
+		if _, err := c.lookup("ghost"); err == nil {
+			break
+		}
+		runtime.Gosched()
+	}
+	stepErr := make(chan error, 1)
+	go func() {
+		_, err := c.Step("ghost", 0, stepChunk)
+		stepErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Step park on the session lock
+	close(release)
+	if err := <-createErr; !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("failed create: %v", err)
+	}
+	if err := <-stepErr; !errors.Is(err, ErrNotFound) {
+		t.Fatalf("step on rolled-back session: %v, want ErrNotFound", err)
+	}
+	if st := c.Stats(); st.Live != 0 || st.Created != 0 || st.Footprint != 0 {
+		t.Fatalf("stats after rollback: %+v", st)
+	}
+	// The id is free again.
+	c.buildFailpoint = nil
+	if _, err := c.Create(Spec{ID: "ghost"}); err != nil {
+		t.Fatalf("recreate after rollback: %v", err)
 	}
 }
 

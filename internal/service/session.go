@@ -50,7 +50,9 @@ type Session struct {
 	attached int64      // endpoints accepted for this session
 	hosted   bool
 	runErr   error
-	runDone  chan error // auto_run watcher completion
+	runDone  chan struct{} // closed once the auto_run watcher records the outcome
+	stepping bool          // a Step released mu to run the scheduler
+	stepDone chan struct{} // closed when the in-flight Step settles
 
 	evictLimit          string
 	evictUsed, evictMax int64
@@ -122,7 +124,7 @@ func (s *Session) onChannel(ep *channel.Endpoint) {
 // sess.mu held, from build.
 func (s *Session) startAuto() {
 	s.state = StateRunning
-	s.runDone = make(chan error, 1)
+	s.runDone = make(chan struct{})
 	go func() {
 		err := s.sub.Run(vtime.Infinity)
 		s.mu.Lock()
@@ -139,6 +141,9 @@ func (s *Session) startAuto() {
 			s.rev++
 		}
 		s.mu.Unlock()
-		s.runDone <- err
+		// Close rather than send: any number of racing Stop callers
+		// (client retries, Catalog.Close vs an HTTP DELETE) may wait on
+		// runDone, and all of them must wake.
+		close(s.runDone)
 	}()
 }

@@ -18,8 +18,11 @@ type Spec struct {
 
 	// AutoRun launches a free-running scheduler at create time
 	// (sessions designers attach to and co-simulate against) instead
-	// of advancing under explicit Step calls.
-	AutoRun bool `json:"auto_run,omitempty"`
+	// of advancing under explicit Step calls. Nil takes the workload
+	// default: true for attach-driven workloads (modemsite), false
+	// otherwise — newWorkload resolves it, so the default is the same
+	// whichever encoding (JSON or form) the create request used.
+	AutoRun *bool `json:"auto_run,omitempty"`
 
 	// fan shape
 	Fanout    int `json:"fanout,omitempty"`
@@ -62,6 +65,12 @@ const (
 func newWorkload(spec *Spec) (Workload, error) {
 	if spec.Workload == "" {
 		spec.Workload = WorkloadFan
+	}
+	if spec.AutoRun == nil {
+		// Attach-driven workloads default to free-running so a
+		// designer can dial in and co-simulate immediately.
+		autoRun := spec.Workload == WorkloadModemSite
+		spec.AutoRun = &autoRun
 	}
 	switch spec.Workload {
 	case WorkloadFan:
