@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire optimistic service fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate bench-optimistic bench-sessions
+.PHONY: ci vet build test race race-core chaos mesh metrics timeline wire optimistic service obs fuzz-smoke bench-smoke bench bench-parallel bench-wire bench-migrate bench-optimistic bench-sessions bench-obs
 
-ci: vet build test race race-core chaos mesh metrics timeline wire optimistic service bench-smoke
+ci: vet build test race race-core chaos mesh metrics timeline wire optimistic service obs bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -102,6 +102,21 @@ service:
 	$(GO) test -race -count=1 -run 'TestSessionsExperiment' ./internal/experiments/
 	$(GO) test -count=1 ./cmd/pianode/
 
+# The flight-recorder gate: the flight package (ring, trips,
+# backpressure hub, SSE end-to-end, sampler) under the race detector,
+# the extended hammer (live /watch client + deliberately stalled
+# client + /debug/flight served concurrently with faulted traffic),
+# and the zero-alloc guards for every disabled and steady-state hot
+# path the flight stack touches (nil recorder/observer, enabled ring
+# record, attribution accounting).
+obs:
+	$(GO) vet ./internal/flight/...
+	$(GO) test -race -count=1 ./internal/flight/
+	$(GO) test -race -count=1 -run 'TestMetricsHammer' .
+	$(GO) test -count=1 -run 'TestNilEverythingIsInert|TestDisabledPathZeroAllocs|TestEnabledRecordZeroAllocs' ./internal/flight/
+	$(GO) test -count=1 -run 'TestAttributionAccountingZeroAllocs|TestAttributionDigestUnchanged' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestObs' ./internal/experiments/ ./cmd/pianode/
+
 # The session-service benchmark: steady-state concurrent tenants at
 # each pool size, lifecycle churn throughput, and the deterministic
 # admission/eviction probes; piabench exits non-zero if any tenant
@@ -138,6 +153,14 @@ bench-migrate:
 # reference — the BENCH_5 artifact.
 bench-optimistic:
 	$(GO) run ./cmd/piabench -exp optimistic -json BENCH_5.json
+
+# The observability overhead benchmark: remote-word and steady
+# sessions legs, metrics baseline vs full flight stack (recorder +
+# sampler + live SSE watcher + cost attribution); piabench exits
+# non-zero if any virtual result moves with observers attached — the
+# BENCH_7 artifact.
+bench-obs:
+	$(GO) run ./cmd/piabench -exp obs -json BENCH_7.json
 
 bench: bench-parallel
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

@@ -103,7 +103,7 @@ func startReporter() {
 }
 
 func main() {
-	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, optimistic, migrate, sessions, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
+	exp := flag.String("exp", "table1", "experiment to run (table1, chaos, timeline, coalesce, wire, parallel, optimistic, migrate, sessions, obs, fig1..fig6, runlevel, policy, checkpoint, incremental, snapshot, memsync, all)")
 	wireGob := flag.Bool("wire-gob", false, "force the gob fallback wire codec on every batch entry (the pre-zero-copy format)")
 	pageKB := flag.Int("page", 66, "page size in KB for WubbleU experiments")
 	flag.StringVar(&jsonOut, "json", "", "write Table 1 (or -exp parallel) results to this file as JSON (e.g. BENCH_1.json)")
@@ -155,6 +155,7 @@ func main() {
 		"optimistic":  optimisticExp,
 		"migrate":     migrateExp,
 		"sessions":    sessionsExp,
+		"obs":         obsExp,
 		"fig1":        fig1,
 		"fig2":        fig2,
 		"fig3":        fig3,
@@ -581,6 +582,92 @@ func writeSessionsJSON(cfg experiments.SessionsConfig, rows []experiments.Sessio
 			Evicted:        r.Evicted,
 			EvictChunk:     r.EvictChunk,
 			EvictSteps:     r.EvictSteps,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+	return nil
+}
+
+// obsExp measures the observability overhead: the remote word-level
+// leg and a steady multi-tenant sessions leg, each bare and then with
+// the full flight stack attached (flight recorder, sampler, a live
+// SSE /watch subscriber over real HTTP, per-component cost
+// attribution). Virtual results must not move; experiments.Obs errors
+// on any divergence. -workers sizes the remote leg's pools.
+func obsExp(pageKB int) error {
+	cfg := experiments.DefaultObsConfig()
+	cfg.Table1 = experiments.Table1Config{PageSize: pageKB * 1024, Images: 4, Workers: benchWorkers}
+	fmt.Printf("Observability overhead: flight recorder + /watch streaming + cost attribution, off vs on (%d KB page, %d tenants)\n\n",
+		pageKB, cfg.Sessions.Sessions)
+	rows, err := experiments.Obs(cfg)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "leg\tworkers\twall off\twall on\toverhead\tdigests\tframes streamed\tring recorded\tdropped")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%+.1f%%\t%s\t%d\t%d\t%d\n",
+			r.Leg, r.Workers, r.OffWall.Round(time.Millisecond), r.OnWall.Round(time.Millisecond),
+			r.OverheadPct, matchWord(r.DigestsOK), r.EventsStreamed, r.RingRecorded, r.Dropped)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nresult invariant holds: virtual results bit-identical with observers attached")
+	return writeObsJSON(cfg, rows)
+}
+
+// obsRow is the machine-readable form of one observability leg.
+type obsRow struct {
+	Leg            string  `json:"leg"`
+	Workers        int     `json:"workers"`
+	OffWallNS      int64   `json:"off_wall_ns"`
+	OnWallNS       int64   `json:"on_wall_ns"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	DigestsOK      bool    `json:"digests_identical"`
+	VirtualNS      int64   `json:"virtual_ns,omitempty"`
+	LinkDrives     int     `json:"link_drives,omitempty"`
+	Steps          int64   `json:"steps,omitempty"`
+	EventsStreamed uint64  `json:"frames_streamed"`
+	RingRecorded   uint64  `json:"ring_recorded"`
+	Dropped        uint64  `json:"subscribers_dropped"`
+}
+
+func writeObsJSON(cfg experiments.ObsConfig, rows []experiments.ObsRow) error {
+	if jsonOut == "" {
+		return nil
+	}
+	out := struct {
+		Experiment      string   `json:"experiment"`
+		PageBytes       int      `json:"page_bytes"`
+		Sessions        int      `json:"sessions"`
+		Runs            int      `json:"runs"`
+		WatchIntervalNS int64    `json:"watch_interval_ns"`
+		AttributionTopN int      `json:"attribution_top_n"`
+		Rows            []obsRow `json:"rows"`
+	}{Experiment: "obs", PageBytes: cfg.Table1.PageSize, Sessions: cfg.Sessions.Sessions,
+		Runs: cfg.Runs, WatchIntervalNS: cfg.WatchInterval.Nanoseconds(), AttributionTopN: cfg.TopN}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, obsRow{
+			Leg:            r.Leg,
+			Workers:        r.Workers,
+			OffWallNS:      r.OffWall.Nanoseconds(),
+			OnWallNS:       r.OnWall.Nanoseconds(),
+			OverheadPct:    r.OverheadPct,
+			DigestsOK:      r.DigestsOK,
+			VirtualNS:      int64(r.Virt),
+			LinkDrives:     r.Drives,
+			Steps:          r.Steps,
+			EventsStreamed: r.EventsStreamed,
+			RingRecorded:   r.RingRecorded,
+			Dropped:        r.Dropped,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

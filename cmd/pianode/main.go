@@ -24,6 +24,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/flight"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/node"
@@ -82,6 +84,9 @@ func main() {
 	report := flag.Duration("report", 0, "print a structured run-report line at this interval (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ on the -metrics address")
 	timelinePath := flag.String("timeline", "", "record a structured timeline and write it (per-node native JSON) to this file at shutdown")
+	flightDump := flag.String("flight-dump", "", "write flight-recorder post-mortem JSON dumps into this directory when a failure trigger trips (requires -metrics)")
+	watchEvery := flag.Duration("watch-interval", time.Second, "sampling cadence for the /watch telemetry stream and the flight recorder's metric deltas")
+	attribTop := flag.Int("attrib-top", 0, "per-component wall-cost attribution: export cost histograms plus a top-N ranking in /metrics (0 = off; requires -metrics)")
 	timelineMerge := flag.String("timeline-merge", "", "merge per-node timeline files (remaining args) into a Perfetto trace at this path, then exit")
 
 	// Service mode: a multi-tenant session catalog replaces the single
@@ -128,6 +133,9 @@ func main() {
 	}
 	if *pprofOn && *metricsAddr == "" {
 		log.Fatal("pianode: -pprof needs -metrics to provide the HTTP listener")
+	}
+	if *flightDump != "" && *metricsAddr == "" {
+		log.Fatal("pianode: -flight-dump needs -metrics to enable the flight recorder")
 	}
 	if *serviceMode {
 		if *meshName != "" || *meshPeers != "" {
@@ -179,8 +187,11 @@ func main() {
 				MaxSessionMemBytes: *maxSessionMem,
 				MaxSteps:           *maxSteps,
 			},
-			faults: fcfg,
-			res:    rcfg,
+			faults:     fcfg,
+			res:        rcfg,
+			flightDump: *flightDump,
+			watchEvery: *watchEvery,
+			attribTop:  *attribTop,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -218,6 +229,9 @@ func main() {
 			until:        *meshUntil,
 			faults:       fcfg,
 			res:          rcfg,
+			flightDump:   *flightDump,
+			watchEvery:   *watchEvery,
+			attribTop:    *attribTop,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -273,13 +287,35 @@ func main() {
 	var reg *metrics.Registry
 	if *metricsAddr != "" || *report > 0 {
 		reg = metrics.NewRegistry()
+		metrics.RegisterBuildInfo(reg, "modemsite")
 		n.EnableMetrics(reg)
+	}
+	if *attribTop > 0 {
+		if reg == nil {
+			log.Fatal("pianode: -attrib-top needs -metrics (or -report) to provide the registry")
+		}
+		sub.EnableCostAttribution(reg, *attribTop)
 	}
 	// The timeline recorder, like the registry, exists only when asked
 	// for; otherwise every hook stays nil and the hot path is
 	// allocation-free.
 	if *timelinePath != "" {
 		n.EnableTimeline(timeline.NewRecorder(0))
+	}
+	// The flight recorder and /watch hub ride on the metrics listener:
+	// with -metrics off the observer stays nil and every trigger path
+	// pays one nil check.
+	var fobs *flight.Observer
+	if *metricsAddr != "" {
+		var fsmp *flight.Sampler
+		fobs, fsmp = newFlight(reg, *flightDump, "modemsite", *watchEvery)
+		n.EnableFlight(fobs)
+		sub.OnThrottleCollapse = func(spec, aborted int) {
+			fobs.Event("throttle", sub.Name(), "rollback storm: speculation window collapsed", int64(aborted))
+			fobs.Trip("rollback-storm", sub.Name())
+		}
+		fsmp.Start()
+		defer fsmp.Stop()
 	}
 
 	addr, err := n.Listen(*listen)
@@ -293,12 +329,14 @@ func main() {
 	if *metricsAddr != "" {
 		srv, maddr, err := serveObs(*metricsAddr, obsConfig{
 			reg: reg, health: n, resilient: *resilient, pprofOn: *pprofOn,
+			rec: fobs.Rec, hub: fobs.Hub,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		obsSrv = srv
 		fmt.Printf("pianode: metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
+		fmt.Printf("pianode: live telemetry on http://%s/watch, flight recorder on http://%s/debug/flight\n", maddr, maddr)
 		if *pprofOn {
 			fmt.Printf("pianode: profiles on http://%s/debug/pprof/\n", maddr)
 		}
@@ -374,6 +412,8 @@ type obsConfig struct {
 	pprofOn   bool
 	mem       migrator         // mesh mode: membership health + migration admin
 	catalog   *service.Catalog // service mode: session API + per-tenant health
+	rec       *flight.Recorder // GET /debug/flight post-mortem view
+	hub       *flight.Hub      // GET /watch SSE telemetry stream
 }
 
 // newObsMux assembles the observability surface: /metrics in
@@ -411,6 +451,12 @@ func newObsMux(o obsConfig) *http.ServeMux {
 			log.Printf("pianode: writing /metrics response: %v", err)
 		}
 	})
+	if o.rec != nil {
+		mux.Handle("/debug/flight", o.rec)
+	}
+	if o.hub != nil {
+		mux.Handle("/watch", o.hub)
+	}
 	if o.mem != nil {
 		mux.HandleFunc("/migrate", func(w http.ResponseWriter, r *http.Request) {
 			handleMigrate(w, r, o.mem)
@@ -528,6 +574,41 @@ func shutdownObs(srv *http.Server) {
 	}
 }
 
+// newFlight assembles the flight-recorder stack for one mode: the
+// ring recorder (stamped with the mode and wired to the registry),
+// the /watch streaming hub, and the sampler feeding both with metric
+// deltas. When dumpDir is set, a trip writes the post-mortem there as
+// a self-contained JSON file.
+func newFlight(reg *metrics.Registry, dumpDir, mode string, every time.Duration) (*flight.Observer, *flight.Sampler) {
+	rec := flight.New(0)
+	rec.SetInfo("mode", mode)
+	rec.AttachRegistry(reg)
+	hub := flight.NewHub()
+	if dumpDir != "" {
+		if err := os.MkdirAll(dumpDir, 0o755); err != nil {
+			log.Fatalf("pianode: -flight-dump: %v", err)
+		}
+		rec.OnTrip(func(d *flight.Dump) {
+			path := filepath.Join(dumpDir, fmt.Sprintf("flight-%s-%d.json", mode, d.GeneratedNS))
+			f, err := os.Create(path)
+			if err != nil {
+				log.Printf("pianode: flight dump: %v", err)
+				return
+			}
+			if err := d.WriteJSON(f); err != nil {
+				log.Printf("pianode: flight dump: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("pianode: flight dump: %v", err)
+				return
+			}
+			fmt.Printf("pianode: flight recorder tripped (%s): post-mortem written to %s\n", d.Reason, path)
+		})
+	}
+	smp := flight.NewSampler(reg, rec, hub, every)
+	return &flight.Observer{Rec: rec, Hub: hub}, smp
+}
+
 // meshHealth reports this member's view of the mesh: every member
 // with its join/leave state and last-heartbeat age. The probe fails
 // (503) only when a quorum of members is dead; losing one peer of a
@@ -609,6 +690,9 @@ type serviceOptions struct {
 	limits              service.Limits
 	faults              faultnet.Config
 	res                 resilience.Config
+	flightDump          string
+	watchEvery          time.Duration
+	attribTop           int
 }
 
 // runService turns the node into a multi-tenant simulation service:
@@ -636,11 +720,18 @@ func runService(o serviceOptions) error {
 	// carry the tenant label), and the catalog's collector re-emits
 	// them all into this one at snapshot time.
 	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg, "service")
+	fobs, fsmp := newFlight(reg, o.flightDump, "service", o.watchEvery)
+	n.EnableFlight(fobs)
+	fsmp.Start()
+	defer fsmp.Stop()
 	cat := service.NewCatalog(service.Config{
-		Workers: o.workers,
-		Limits:  o.limits,
-		Node:    n,
-		Metrics: reg,
+		Workers:         o.workers,
+		Limits:          o.limits,
+		Node:            n,
+		Metrics:         reg,
+		Flight:          fobs,
+		AttributionTopN: o.attribTop,
 	})
 	defer cat.Close()
 
@@ -651,6 +742,7 @@ func runService(o serviceOptions) error {
 	srv, maddr, err := serveObs(o.metricsAddr, obsConfig{
 		reg: reg, health: n, resilient: o.resilient,
 		pprofOn: o.pprofOn, catalog: cat,
+		rec: fobs.Rec, hub: fobs.Hub,
 	})
 	if err != nil {
 		return err
@@ -658,6 +750,7 @@ func runService(o serviceOptions) error {
 	fmt.Printf("pianode: session service up: data channels on %s, session API on http://%s/sessions\n",
 		addr, maddr)
 	fmt.Printf("pianode: metrics on http://%s/metrics, health on http://%s/healthz\n", maddr, maddr)
+	fmt.Printf("pianode: live telemetry on http://%s/watch (?session= filters a tenant), flight recorder on http://%s/debug/flight\n", maddr, maddr)
 	if o.pprofOn {
 		fmt.Printf("pianode: profiles on http://%s/debug/pprof/\n", maddr)
 	}
@@ -683,6 +776,9 @@ type meshOptions struct {
 	step, until                                                 time.Duration
 	faults                                                      faultnet.Config
 	res                                                         resilience.Config
+	flightDump                                                  string
+	watchEvery                                                  time.Duration
+	attribTop                                                   int
 }
 
 // runMesh joins the static mesh as one member and runs the shared
@@ -729,6 +825,7 @@ func runMesh(o meshOptions) error {
 	var reg *metrics.Registry
 	if o.metricsAddr != "" {
 		reg = metrics.NewRegistry()
+		metrics.RegisterBuildInfo(reg, "mesh")
 		nd.EnableMetrics(reg)
 	}
 	cfg := mesh.Config{
@@ -749,6 +846,27 @@ func runMesh(o meshOptions) error {
 	fmt.Printf("pianode: mesh member %q: control on %s, data on %s\n",
 		o.name, mem.CtlAddr(), mem.DataAddr())
 
+	// Flight stack: peer-loss trips via the node, quorum death via the
+	// sampler's poll hook (membership health is not registry-driven).
+	var fobs *flight.Observer
+	if o.metricsAddr != "" {
+		fobs2, fsmp := newFlight(reg, o.flightDump, "mesh", o.watchEvery)
+		fobs = fobs2
+		fobs.Rec.SetInfo("member", o.name)
+		nd.EnableFlight(fobs)
+		fsmp.SetPoll(func() {
+			if h := mem.Health(); h.QuorumDead {
+				fobs.Event("health", o.name, fmt.Sprintf("quorum dead: %d/%d members alive", h.Alive, h.Total), int64(h.Alive))
+				fobs.Trip("quorum-dead", fmt.Sprintf("%s sees %d/%d alive", o.name, h.Alive, h.Total))
+			}
+		})
+		fsmp.Start()
+		defer fsmp.Stop()
+		if o.attribTop > 0 {
+			mem.Subsystem().EnableCostAttribution(reg, o.attribTop)
+		}
+	}
+
 	// Admin/metrics listener comes up before the (blocking) mesh
 	// formation so probes can watch the mesh assemble.
 	var obsSrv *http.Server
@@ -756,6 +874,7 @@ func runMesh(o meshOptions) error {
 	if o.metricsAddr != "" {
 		srv, maddr, err := serveObs(o.metricsAddr, obsConfig{
 			reg: reg, health: nd, resilient: o.resilient, pprofOn: o.pprofOn, mem: mem,
+			rec: fobs.Rec, hub: fobs.Hub,
 		})
 		if err != nil {
 			return err

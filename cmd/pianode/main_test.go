@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/flight"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/resilience"
@@ -242,5 +244,51 @@ func TestSessionsMountedOnObsMux(t *testing.T) {
 	}
 	if !strings.Contains(rr.Body.String(), `session="s1"`) {
 		t.Fatalf("scrape missing tenant label: %q", rr.Body.String())
+	}
+}
+
+// TestObsFlightAndWatchMounted: with a flight recorder and hub wired,
+// the obs mux serves the post-mortem dump on /debug/flight and the
+// SSE stream on /watch; without them both paths 404.
+func TestObsFlightAndWatchMounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := flight.New(8)
+	rec.Record("session", "s1", "created", 0)
+	hub := flight.NewHub()
+	mux := newObsMux(obsConfig{reg: reg, health: fakeHealth{}, rec: rec, hub: hub})
+
+	rr, body := get(t, mux, "/debug/flight", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/flight: %d %s", rr.Code, rr.Body.String())
+	}
+	if tripped, ok := body["tripped"].(bool); !ok || tripped {
+		t.Fatalf("dump tripped = %v, want false", body["tripped"])
+	}
+	if n, _ := body["recorded_total"].(float64); n != 1 {
+		t.Fatalf("dump recorded_total = %v, want 1", body["recorded_total"])
+	}
+
+	// A /watch subscriber whose request is already cancelled gets the
+	// hello frame and a clean stream end — enough to prove the SSE
+	// endpoint is mounted without holding a live stream open.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/watch", nil).WithContext(ctx)
+	wrr := httptest.NewRecorder()
+	mux.ServeHTTP(wrr, req)
+	if wrr.Code != http.StatusOK || !strings.Contains(wrr.Body.String(), "event: hello") {
+		t.Fatalf("GET /watch: %d %q", wrr.Code, wrr.Body.String())
+	}
+	if ct := wrr.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("GET /watch content-type %q", ct)
+	}
+
+	// Without the flight stack the endpoints are simply not mounted.
+	bare := newObsMux(obsConfig{reg: reg, health: fakeHealth{}})
+	if rr, _ := get(t, bare, "/debug/flight", nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("bare /debug/flight: %d", rr.Code)
+	}
+	if rr, _ := get(t, bare, "/watch", nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("bare /watch: %d", rr.Code)
 	}
 }

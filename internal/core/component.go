@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/event"
 	"repro/internal/metrics"
@@ -104,6 +105,15 @@ type Component struct {
 	// here rather than in an order-indexed slice so it survives
 	// components being added or removed mid-run by live migration.
 	mLag *metrics.Gauge
+
+	// costNS accumulates wall nanoseconds spent stepping this
+	// component (attribution enabled only); mCost is the matching
+	// per-step latency histogram, created lazily on first dispatch.
+	// Dispatches for one component never overlap (a component is one
+	// job per round), so mCost needs no lock of its own; rounds are
+	// ordered by the round WaitGroup.
+	costNS atomic.Int64
+	mCost  *metrics.Histogram
 
 	// outLA is the component's output lookahead: the minimum
 	// propagation delay over every net its ports attach to (the

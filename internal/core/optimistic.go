@@ -145,6 +145,9 @@ func (s *Subsystem) noteSpecOutcome(spec, aborted int) {
 		s.effOpt /= 2
 		if s.effOpt == 0 {
 			s.optCool = optCooldownRounds
+			if s.OnThrottleCollapse != nil {
+				s.OnThrottleCollapse(spec, aborted)
+			}
 		}
 	case aborted > 0:
 		s.optClean = 0

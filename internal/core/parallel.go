@@ -174,7 +174,7 @@ func (s *Subsystem) startPool() {
 		go func() {
 			defer s.poolWG.Done()
 			for job := range s.workCh {
-				s.step(job.c, job.key)
+				s.stepTimed(job.c, job.key)
 				s.roundWG.Done()
 			}
 		}()

@@ -118,7 +118,7 @@ func (p *SharedPool) worker() {
 		if !ok {
 			return
 		}
-		sub.step(job.c, job.key)
+		sub.stepTimed(job.c, job.key)
 		sub.roundWG.Done()
 	}
 }

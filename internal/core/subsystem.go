@@ -100,12 +100,12 @@ type Subsystem struct {
 	fastOK     bool
 	workCh     chan parJob
 	sharedPool *SharedPool
-	poolWG    sync.WaitGroup
-	roundWG   sync.WaitGroup
-	active    []*Component // runnable index, lazily compacted
-	members   []*Component // scratch: current round membership
-	mergeRefs []opRef      // scratch: merge ordering
-	bufFree   []*workerBuf
+	poolWG     sync.WaitGroup
+	roundWG    sync.WaitGroup
+	active     []*Component // runnable index, lazily compacted
+	members    []*Component // scratch: current round membership
+	mergeRefs  []opRef      // scratch: merge ordering
+	bufFree    []*workerBuf
 
 	// Optimistic (Time Warp) execution: see optimistic.go. optimism
 	// is the configured window W past the safe horizon within which
@@ -168,6 +168,14 @@ type Subsystem struct {
 	OnStall      func()                                     // called right before the scheduler blocks waiting for input
 	OnResume     func()                                     // called right after a stall ends
 
+	// OnThrottleCollapse fires on the scheduler goroutine when the
+	// optimistic throttle collapses the speculation window to zero
+	// (a rollback storm: more than half the speculative cohort
+	// aborted and the halving bottomed out). The flight recorder
+	// treats it as a failure trigger. Unlike OnStep it does not
+	// disable the fast paths: it only runs on an already-slow round.
+	OnThrottleCollapse func(spec, aborted int)
+
 	running bool
 	fatal   error
 
@@ -199,6 +207,12 @@ type Subsystem struct {
 	// the nil-guarded hook chain above, so the disabled path costs
 	// nothing beyond the existing hook nil checks.
 	tlRec *timeline.Recorder
+
+	// attrib, when non-nil, is the per-component wall-cost
+	// attribution sink wired in by EnableCostAttribution (see
+	// attrib.go). Disabled path: one nil check per dispatch in
+	// stepTimed, no stamps, no allocation.
+	attrib *costAttrib
 }
 
 // Stats accumulates scheduler counters for benchmarks and reports.
@@ -1025,7 +1039,7 @@ func (s *Subsystem) Run(until vtime.Time) error {
 		if s.fastOK {
 			next.fastUntil = s.seqFastBound(pi, until)
 		}
-		s.step(next, key)
+		s.stepTimed(next, key)
 		s.activate(next)
 		// A fused run of inline actions ends past the entry key:
 		// catch the subsystem clock (and idle local times) up to the

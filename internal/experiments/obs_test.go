@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObsExperiment runs a scaled-down observability overhead
+// experiment: both legs must complete with virtual results identical
+// under the full flight stack (Obs errors on any divergence), a live
+// SSE watcher must receive frames, and no subscriber may be dropped.
+func TestObsExperiment(t *testing.T) {
+	cfg := DefaultObsConfig()
+	cfg.Table1 = Table1Config{PageSize: 4 * 1024, Images: 2}
+	cfg.Sessions.Sessions = 8
+	cfg.Sessions.Seeds = 4
+	cfg.Sessions.WorkIters = 256
+	cfg.Sessions.Workers = []int{2}
+	cfg.Runs = 1
+	cfg.WatchInterval = 20 * time.Millisecond
+
+	rows, err := Obs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.DigestsOK {
+			t.Fatalf("%s: digests diverged", r.Leg)
+		}
+		if r.OffWall <= 0 || r.OnWall <= 0 {
+			t.Fatalf("%s: missing walls %v/%v", r.Leg, r.OffWall, r.OnWall)
+		}
+		if r.EventsStreamed == 0 {
+			t.Fatalf("%s: live watcher streamed nothing", r.Leg)
+		}
+		if r.RingRecorded == 0 {
+			t.Fatalf("%s: flight ring recorded nothing", r.Leg)
+		}
+		if r.Dropped != 0 {
+			t.Fatalf("%s: healthy watcher dropped %d times", r.Leg, r.Dropped)
+		}
+	}
+	if rows[0].Leg != "remote-word" || rows[0].Virt <= 0 || rows[0].Drives <= 0 {
+		t.Fatalf("remote row malformed: %+v", rows[0])
+	}
+	if rows[1].Leg != "sessions-steady" || rows[1].Steps <= 0 {
+		t.Fatalf("sessions row malformed: %+v", rows[1])
+	}
+}

@@ -77,6 +77,13 @@ type Table1Config struct {
 	// the returned row. Off by default so benchmarks measure the
 	// disabled path.
 	Timeline bool
+
+	// OnCluster, when set, receives the built cluster of a Remote leg
+	// after metrics/timeline wiring and before Run — the hook the
+	// observability overhead experiment uses to attach a flight
+	// recorder, streaming hub, and cost attribution to an otherwise
+	// identical run.
+	OnCluster func(*pia.Cluster)
 }
 
 // DefaultTable1Config reproduces the paper's setup.
@@ -204,6 +211,9 @@ func Remote(c Table1Config, level string) (Table1Row, error) {
 	}
 	if c.Timeline {
 		cl.EnableTimeline(0)
+	}
+	if c.OnCluster != nil {
+		c.OnCluster(cl)
 	}
 	start := time.Now()
 	if err := cl.Run(horizon(cfg)); err != nil {

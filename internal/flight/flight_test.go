@@ -1,0 +1,459 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/timeline"
+	"repro/internal/vtime"
+)
+
+func TestNilEverythingIsInert(t *testing.T) {
+	var r *Recorder
+	r.Record("a", "b", "c", 1)
+	r.Trip("x", "y")
+	r.SetInfo("k", "v")
+	r.AttachRegistry(nil)
+	r.AttachTimeline(nil)
+	r.OnTrip(func(*Dump) {})
+	if d := r.BuildDump(); d != nil {
+		t.Fatalf("nil recorder dump = %+v, want nil", d)
+	}
+	if ok, _ := r.Tripped(); ok {
+		t.Fatal("nil recorder cannot trip")
+	}
+
+	var h *Hub
+	h.PublishEvent(Transition{Kind: "x"})
+	h.PublishMetrics(1, []MetricDelta{{Name: "n"}})
+	if h.Subscribers() != 0 || h.Dropped() != 0 || h.Sent() != 0 {
+		t.Fatal("nil hub must read zero")
+	}
+
+	var o *Observer
+	o.Event("a", "b", "c", 1)
+	o.Trip("x", "y")
+	if o.Enabled() {
+		t.Fatal("nil observer must be disabled")
+	}
+
+	var s *Sampler
+	s.Tick()
+	s.Start()
+	s.Stop()
+	s.SetPoll(func() {})
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var r *Recorder
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record("session", "s-1", "stepped", 42)
+	}); n != 0 {
+		t.Fatalf("nil recorder Record = %v allocs/op, want 0", n)
+	}
+	var o *Observer
+	if n := testing.AllocsPerRun(200, func() {
+		o.Event("session", "s-1", "stepped", 42)
+	}); n != 0 {
+		t.Fatalf("nil observer Event = %v allocs/op, want 0", n)
+	}
+}
+
+func TestEnabledRecordZeroAllocs(t *testing.T) {
+	// The ring is pre-allocated and entries are overwritten in place:
+	// even the ENABLED record path must not allocate.
+	r := New(64)
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record("session", "s-1", "stepped", 42)
+	}); n != 0 {
+		t.Fatalf("enabled Record = %v allocs/op, want 0", n)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(4)
+	for i := 1; i <= 10; i++ {
+		r.Record("k", fmt.Sprintf("e%d", i), "", int64(i))
+	}
+	d := r.BuildDump()
+	if len(d.Entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(d.Entries))
+	}
+	for i, e := range d.Entries {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("entry %d seq = %d, want %d (oldest-first tail)", i, e.Seq, want)
+		}
+	}
+	if d.Recorded != 10 {
+		t.Fatalf("recorded_total = %d, want 10", d.Recorded)
+	}
+}
+
+func TestTripFreezesAndDumps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("pia_x").Add(7)
+	tl := timeline.NewRecorder(0)
+	tl.Drive("sub", "comp", "net", vtime.Time(5), nil)
+
+	r := New(8)
+	r.SetInfo("node", "n1")
+	r.AttachRegistry(reg)
+	r.AttachTimeline(tl)
+
+	dumps := make(chan *Dump, 1)
+	r.OnTrip(func(d *Dump) { dumps <- d })
+
+	r.Record("session", "s-1", "created", 0)
+	r.Trip("session-failed", "boom")
+	r.Record("session", "s-2", "too late", 0) // after freeze: counted, not kept
+	r.Trip("second", "ignored")               // first trip wins
+
+	var d *Dump
+	select {
+	case d = <-dumps:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnTrip never fired")
+	}
+	if !d.Tripped || d.Reason != "session-failed" || d.Detail != "boom" {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if d.AfterFreeze != 1 {
+		t.Fatalf("dropped_after_freeze = %d, want 1", d.AfterFreeze)
+	}
+	if d.Info["node"] != "n1" || d.Info["version"] == "" {
+		t.Fatalf("info = %v", d.Info)
+	}
+	// Ring holds the pre-failure record plus the trip marker itself.
+	last := d.Entries[len(d.Entries)-1]
+	if last.Kind != "trip" || last.Name != "session-failed" {
+		t.Fatalf("last entry = %+v, want the trip marker", last)
+	}
+	foundMetric := false
+	for _, s := range d.Metrics {
+		if s.Name == "pia_x" && s.Value == 7 {
+			foundMetric = true
+		}
+	}
+	if !foundMetric {
+		t.Fatalf("dump metrics missing registry state: %+v", d.Metrics)
+	}
+	if len(d.Timeline) != 1 || d.Timeline[0].Comp != "comp" {
+		t.Fatalf("dump timeline tail = %+v", d.Timeline)
+	}
+	if ok, why := r.Tripped(); !ok || why != "session-failed" {
+		t.Fatalf("Tripped() = %v %q", ok, why)
+	}
+
+	// The whole dump must round-trip as self-contained JSON.
+	var buf strings.Builder
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Dump
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if back.Reason != "session-failed" || len(back.Entries) != len(d.Entries) {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}
+
+func TestTripSafeUnderCallerLock(t *testing.T) {
+	// Callers trip while holding their own locks (session mutex,
+	// scheduler goroutine). A registry collector that takes such a
+	// lock must not deadlock against Trip, because the dump is built
+	// asynchronously with no recorder lock held.
+	var callerMu sync.Mutex
+	reg := metrics.NewRegistry()
+	reg.AddCollector(func(emit func(metrics.Sample)) {
+		callerMu.Lock()
+		defer callerMu.Unlock()
+		emit(metrics.Sample{Name: "locked", Kind: metrics.KindGauge, Value: 1})
+	})
+	r := New(8)
+	r.AttachRegistry(reg)
+	done := make(chan *Dump, 1)
+	r.OnTrip(func(d *Dump) { done <- d })
+
+	callerMu.Lock()
+	r.Trip("under-lock", "")
+	callerMu.Unlock() // dump goroutine can now snapshot
+
+	select {
+	case d := <-done:
+		if len(d.Metrics) != 1 {
+			t.Fatalf("dump metrics = %+v", d.Metrics)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: dump never completed")
+	}
+}
+
+func TestHubDropsStalledSubscriber(t *testing.T) {
+	h := NewHub()
+	stalled := h.subscribe("", "")
+	healthy := h.subscribe("", "")
+	if h.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", h.Subscribers())
+	}
+
+	// Publish past the stalled subscriber's queue depth, draining the
+	// healthy queue as we go; never read the stalled one. Every call
+	// must return promptly even though nobody reads `stalled`.
+	var got int
+	start := time.Now()
+	for i := 0; i < subQueueCap+16; i++ {
+		h.PublishEvent(Transition{Kind: "session", Name: "s", Value: int64(i)})
+		for drained := false; !drained; {
+			select {
+			case <-healthy.ch:
+				got++
+			default:
+				drained = true
+			}
+		}
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("publishing blocked on a stalled subscriber: %v", el)
+	}
+	if h.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", h.Dropped())
+	}
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers after drop = %d, want 1", h.Subscribers())
+	}
+	// The stalled channel must be closed so its handler unwinds.
+	select {
+	case _, ok := <-stalled.ch:
+		if !ok {
+			break
+		}
+		// Drain buffered frames until close.
+		for range stalled.ch {
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled subscriber channel never closed")
+	}
+	h.unsubscribe(stalled) // idempotent with the publisher-side drop
+	h.unsubscribe(healthy)
+}
+
+func TestHubFilters(t *testing.T) {
+	h := NewHub()
+	all := h.subscribe("", "")
+	tenant := h.subscribe("s-1", "")
+	prefixed := h.subscribe("", "pia_sched")
+	defer func() { h.unsubscribe(all); h.unsubscribe(tenant); h.unsubscribe(prefixed) }()
+
+	h.PublishEvent(Transition{Kind: "session", Name: "s-1", Session: "s-1"})
+	h.PublishEvent(Transition{Kind: "session", Name: "s-2", Session: "s-2"})
+	h.PublishEvent(Transition{Kind: "health", Name: "node"}) // global
+
+	recv := func(s *subscriber) []string {
+		var names []string
+		for {
+			select {
+			case f := <-s.ch:
+				var tr Transition
+				_ = json.Unmarshal(f.data, &tr)
+				names = append(names, tr.Name)
+			default:
+				return names
+			}
+		}
+	}
+	if got := recv(all); len(got) != 3 {
+		t.Fatalf("unfiltered subscriber got %v", got)
+	}
+	if got := recv(tenant); strings.Join(got, ",") != "s-1,node" {
+		t.Fatalf("tenant subscriber got %v, want [s-1 node]", got)
+	}
+	recv(prefixed) // drain its queued transitions before the metrics frame
+
+	h.PublishMetrics(1, []MetricDelta{
+		{Name: `pia_sched_steps{sub="a"}`, Value: 5, Delta: 5},
+		{Name: `pia_wire_bytes{node="n"}`, Value: 9, Delta: 9},
+		{Name: `pia_sched_steps{sub="b",session="s-1"}`, Value: 2, Delta: 2},
+	})
+	var mf metricFrame
+	_ = json.Unmarshal((<-prefixed.ch).data, &mf)
+	if len(mf.Changed) != 2 {
+		t.Fatalf("prefix filter passed %+v", mf.Changed)
+	}
+	for _, d := range mf.Changed {
+		if !strings.HasPrefix(d.Name, "pia_sched") {
+			t.Fatalf("prefix filter leaked %s", d.Name)
+		}
+	}
+	_ = json.Unmarshal((<-tenant.ch).data, &mf)
+	if len(mf.Changed) != 1 || !strings.Contains(mf.Changed[0].Name, `session="s-1"`) {
+		t.Fatalf("session filter passed %+v", mf.Changed)
+	}
+}
+
+func TestWatchSSEEndToEnd(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("pia_live")
+	rec := New(32)
+	rec.AttachRegistry(reg)
+	h := NewHub()
+	smp := NewSampler(reg, rec, h, time.Hour) // ticked manually
+	defer smp.Stop()
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?prefix=pia_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %s", ct)
+	}
+	rd := bufio.NewReader(resp.Body)
+	readEvent := func() (string, string) {
+		var event, data string
+		for {
+			line, err := rd.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream read: %v", err)
+			}
+			line = strings.TrimRight(line, "\n")
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && event != "":
+				return event, data
+			}
+		}
+	}
+
+	if ev, _ := readEvent(); ev != "hello" {
+		t.Fatalf("first event = %s, want hello", ev)
+	}
+
+	// Wait for the subscriber to land before publishing.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Subscribers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	c.Add(3)
+	smp.Tick()
+	ev, data := readEvent()
+	if ev != "metrics" {
+		t.Fatalf("event = %s, want metrics", ev)
+	}
+	var mf metricFrame
+	if err := json.Unmarshal([]byte(data), &mf); err != nil {
+		t.Fatalf("bad metrics frame %q: %v", data, err)
+	}
+	if len(mf.Changed) != 1 || mf.Changed[0].Name != "pia_live" || mf.Changed[0].Delta != 3 {
+		t.Fatalf("metrics frame = %+v", mf.Changed)
+	}
+
+	// Unchanged registry → no frame; next change streams only deltas.
+	smp.Tick()
+	c.Add(2)
+	smp.Tick()
+	ev, data = readEvent()
+	_ = json.Unmarshal([]byte(data), &mf)
+	if ev != "metrics" || mf.Changed[0].Value != 5 || mf.Changed[0].Delta != 2 {
+		t.Fatalf("delta frame = %s %+v", ev, mf.Changed)
+	}
+
+	h.PublishEvent(Transition{Kind: "trip", Name: "quorum-dead"})
+	ev, data = readEvent()
+	var tr Transition
+	_ = json.Unmarshal([]byte(data), &tr)
+	if ev != "transition" || tr.Name != "quorum-dead" {
+		t.Fatalf("transition frame = %s %+v", ev, tr)
+	}
+
+	// The sampler also fed the ring.
+	d := rec.BuildDump()
+	foundRing := false
+	for _, e := range d.Entries {
+		if e.Kind == "metric" && e.Name == "pia_live" {
+			foundRing = true
+		}
+	}
+	if !foundRing {
+		t.Fatalf("sampler did not record metric deltas in ring: %+v", d.Entries)
+	}
+
+	// Teardown: unblock any handler stuck in Write before closing.
+	resp.Body.Close()
+	srv.CloseClientConnections()
+}
+
+func TestSamplerPollHook(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := New(8)
+	smp := NewSampler(reg, rec, nil, time.Hour)
+	defer smp.Stop()
+	polled := 0
+	smp.SetPoll(func() {
+		polled++
+		rec.Trip("quorum-dead", "2/5 members")
+	})
+	smp.Tick()
+	if polled != 1 {
+		t.Fatalf("poll ran %d times, want 1", polled)
+	}
+	if ok, why := rec.Tripped(); !ok || why != "quorum-dead" {
+		t.Fatalf("poll-driven trip missing: %v %q", ok, why)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("pia_t")
+	rec := New(64)
+	smp := NewSampler(reg, rec, nil, time.Millisecond)
+	smp.Start()
+	smp.Start() // idempotent
+	c.Add(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if d := rec.BuildDump(); len(d.Entries) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	smp.Stop()
+	smp.Stop() // idempotent
+	if d := rec.BuildDump(); len(d.Entries) == 0 {
+		t.Fatal("ticker goroutine never sampled")
+	}
+}
+
+func TestRecorderHTTPHandler(t *testing.T) {
+	rec := New(8)
+	rec.Record("session", "s-1", "created", 0)
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Tripped || len(d.Entries) != 1 || d.Entries[0].Name != "s-1" {
+		t.Fatalf("handler dump = %+v", d)
+	}
+}

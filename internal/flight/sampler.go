@@ -1,0 +1,144 @@
+package flight
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultInterval is the sampling cadence when NewSampler is given a
+// non-positive interval.
+const DefaultInterval = time.Second
+
+// Sampler periodically snapshots a metrics registry, computes which
+// samples changed since the previous tick, and feeds the deltas to
+// the flight recorder ring and the streaming hub. An optional Poll
+// hook runs first on every tick so callers can fold in checks that
+// are not registry-driven (e.g. mesh quorum health).
+//
+// The sampler owns its goroutine; the scheduler, merge loop, and
+// scrape path never run sampling work.
+type Sampler struct {
+	reg      *metrics.Registry
+	rec      *Recorder
+	hub      *Hub
+	interval time.Duration
+
+	mu   sync.Mutex
+	poll func()
+	prev map[string]int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSampler wires a registry to a recorder and/or hub (either may be
+// nil). The interval defaults to DefaultInterval if non-positive.
+func NewSampler(reg *metrics.Registry, rec *Recorder, hub *Hub, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Sampler{
+		reg:      reg,
+		rec:      rec,
+		hub:      hub,
+		interval: interval,
+		prev:     make(map[string]int64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SetPoll installs a hook run at the start of every tick (before the
+// registry snapshot). Used by pianode's mesh mode to trip the
+// recorder on quorum loss.
+func (s *Sampler) SetPoll(f func()) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.poll = f
+	s.mu.Unlock()
+}
+
+// Tick runs one sampling pass synchronously: poll hook, snapshot,
+// delta computation, publication. Exported so tests and one-shot
+// callers can sample deterministically without the goroutine.
+func (s *Sampler) Tick() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	poll := s.poll
+	s.mu.Unlock()
+	if poll != nil {
+		poll()
+	}
+
+	snap := s.reg.Snapshot()
+	now := time.Now().UnixNano()
+
+	s.mu.Lock()
+	var changed []MetricDelta
+	for _, sm := range snap {
+		// Histogram detail stays in /metrics; the stream carries the
+		// observation count so watchers still see activity.
+		old, seen := s.prev[sm.Name]
+		if sm.Value == old && seen {
+			continue
+		}
+		s.prev[sm.Name] = sm.Value
+		changed = append(changed, MetricDelta{
+			Name:  sm.Name,
+			Value: sm.Value,
+			Delta: sm.Value - old,
+		})
+	}
+	s.mu.Unlock()
+	if len(changed) == 0 {
+		return
+	}
+	// Deterministic order for the ring and the stream.
+	sort.Slice(changed, func(i, j int) bool { return changed[i].Name < changed[j].Name })
+	for _, d := range changed {
+		s.rec.Record("metric", d.Name, "", d.Value)
+	}
+	s.hub.PublishMetrics(now, changed)
+}
+
+// Start launches the sampling goroutine. Idempotent.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampling goroutine and waits for it to exit.
+// Idempotent; safe on a sampler that was never started.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: unblock Stop
+	<-s.done
+}

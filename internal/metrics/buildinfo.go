@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// buildVersion resolves the binary's module version (or VCS revision)
+// once at init: flight dumps and scrapes both stamp it, and
+// debug.ReadBuildInfo walks the whole build graph, so resolving per
+// registration would be wasteful.
+var buildVersion = func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	if v == "" || v == "(devel)" {
+		return "devel"
+	}
+	return v
+}()
+
+// BuildVersion returns the module version or VCS revision baked into
+// the running binary ("devel" for an unstamped local build).
+func BuildVersion() string { return buildVersion }
+
+// RegisterBuildInfo registers the standard `pia_build_info` gauge: a
+// constant 1 whose labels identify the binary (module version or VCS
+// revision, Go toolchain) and the mode the registry serves
+// ("modemsite", "service", "mesh", "session", ...). Every scrape and
+// flight dump produced by the registry then says which build made it.
+// Safe on a nil registry; re-registration under the same labels is
+// the usual get-or-create.
+func RegisterBuildInfo(r *Registry, mode string) {
+	if r == nil {
+		return
+	}
+	r.SetHelp("pia_build_info", "Build identity of the binary serving this registry; value is always 1.")
+	r.Gauge(Label("pia_build_info",
+		"version", buildVersion,
+		"go", runtime.Version(),
+		"mode", mode,
+	)).Set(1)
+}

@@ -26,15 +26,21 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text
-// exposition format (text/plain; version 0.0.4): one `# TYPE` line
-// per base metric name followed by its sample lines. Histograms
-// expand to `_bucket{le=...}` series plus `_sum` and `_count`.
+// exposition format (text/plain; version 0.0.4): a `# HELP` line
+// (when registered via SetHelp) and one `# TYPE` line per base
+// metric name followed by its sample lines. Histograms expand to
+// `_bucket{le=...}` series plus `_sum` and `_count`.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	typed := make(map[string]bool)
 	for _, s := range r.Snapshot() {
 		base, labels := splitName(s.Name)
 		if !typed[base] {
 			typed[base] = true
+			if help := r.helpOf(base); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, s.Kind); err != nil {
 				return err
 			}
@@ -85,9 +91,9 @@ func AddLabel(full, k, v string) string {
 }
 
 // withLabel appends one more label to an existing `{...}` clause (or
-// starts one).
+// starts one), escaping the value per the exposition format.
 func withLabel(labels, k, v string) string {
-	pair := k + `="` + v + `"`
+	pair := k + `="` + string(appendEscaped(nil, v)) + `"`
 	if labels == "" {
 		return "{" + pair + "}"
 	}

@@ -166,13 +166,39 @@ type instrument struct {
 type Registry struct {
 	mu         sync.Mutex
 	insts      []instrument
-	byName     map[string]int // index into insts
+	byName     map[string]int    // index into insts
+	help       map[string]string // base name -> # HELP text
 	collectors []Collector
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]int)}
+	return &Registry{byName: make(map[string]int), help: make(map[string]string)}
+}
+
+// SetHelp registers the `# HELP` text emitted for a base metric name
+// (the name without its label clause) by WritePrometheus. First
+// registration wins; a nil registry or empty text is a no-op.
+func (r *Registry) SetHelp(base, text string) {
+	if r == nil || base == "" || text == "" {
+		return
+	}
+	r.mu.Lock()
+	if _, dup := r.help[base]; !dup {
+		r.help[base] = text
+	}
+	r.mu.Unlock()
+}
+
+// helpOf returns the registered help text for a base name ("" if
+// none).
+func (r *Registry) helpOf(base string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[base]
 }
 
 // Counter returns the counter registered under name, creating it if
@@ -314,6 +340,9 @@ func EmitCounters(emit func(Sample), labels []string, pairs ...KV) {
 // Label renders a base name plus alternating key/value label pairs
 // into the canonical `name{k="v",...}` form used throughout Pia.
 // Called once at registration time so hot paths never build strings.
+// Label values are escaped per the Prometheus exposition format
+// (backslash, double quote, newline), so a hostile session or
+// component name cannot corrupt the scrape.
 func Label(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -327,9 +356,27 @@ func Label(name string, kv ...string) string {
 		}
 		b = append(b, kv[i]...)
 		b = append(b, '=', '"')
-		b = append(b, kv[i+1]...)
+		b = appendEscaped(b, kv[i+1])
 		b = append(b, '"')
 	}
 	b = append(b, '}')
 	return string(b)
+}
+
+// appendEscaped appends a label value with the exposition-format
+// escapes: `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+func appendEscaped(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
 }

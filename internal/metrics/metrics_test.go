@@ -117,6 +117,120 @@ func TestLabel(t *testing.T) {
 	}
 }
 
+func TestLabelEscaping(t *testing.T) {
+	// A `"` or `\` (or newline) in a label value must not corrupt the
+	// rendered name: per the Prometheus exposition format they escape
+	// to \" , \\ and \n.
+	got := Label("pia_x", "session", `s-"1"\x`+"\n")
+	want := `pia_x{session="s-\"1\"\\x\n"}`
+	if got != want {
+		t.Fatalf("Label escaping: got %s, want %s", got, want)
+	}
+	// The post-hoc label path (AddLabel -> withLabel) must escape the
+	// same way — it is what the multi-tenant aggregation uses on raw
+	// session ids.
+	if got := AddLabel("pia_y", "session", `a"b`); got != `pia_y{session="a\"b"}` {
+		t.Fatalf("AddLabel escaping: got %s", got)
+	}
+	// And the whole exposition must stay parseable: one sample line,
+	// no stray quotes/newlines splitting it.
+	r := NewRegistry()
+	r.Counter(Label("pia_esc", "comp", "a\"b\\c\nd")).Add(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if want := `pia_esc{comp="a\"b\\c\nd"} 1` + "\n"; !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped sample %q:\n%s", want, out)
+	}
+	if strings.Count(out, "\n") != 2 { // TYPE line + sample line
+		t.Fatalf("escaped value split the exposition:\n%q", out)
+	}
+}
+
+func TestHelpLines(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("pia_helped", "n", "1")).Add(3)
+	r.Counter("pia_unhelped").Add(1)
+	r.SetHelp("pia_helped", "A documented counter.")
+	r.SetHelp("pia_helped", "second registration must lose")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# HELP pia_helped A documented counter.\n# TYPE pia_helped counter\n") {
+		t.Fatalf("HELP must precede TYPE:\n%s", out)
+	}
+	if strings.Contains(out, "# HELP pia_unhelped") {
+		t.Fatalf("undocumented metric grew a HELP line:\n%s", out)
+	}
+	if strings.Count(out, "# HELP pia_helped") != 1 {
+		t.Fatalf("HELP must appear once per base name:\n%s", out)
+	}
+	// Nil-registry SetHelp is a no-op, like every other surface.
+	(*Registry)(nil).SetHelp("x", "y")
+}
+
+func TestHistogramExposition(t *testing.T) {
+	// Native histogram exposition: cumulative labelled buckets
+	// including +Inf, _sum, _count, and labels preserved on every
+	// derived series.
+	r := NewRegistry()
+	h := r.Histogram(Label("pia_hx", "sub", "a"), []int64{10, 100})
+	for _, v := range []int64{1, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pia_hx histogram\n",
+		`pia_hx_bucket{sub="a",le="10"} 1` + "\n",
+		`pia_hx_bucket{sub="a",le="100"} 2` + "\n",
+		`pia_hx_bucket{sub="a",le="+Inf"} 3` + "\n",
+		`pia_hx_sum{sub="a"} 551` + "\n",
+		`pia_hx_count{sub="a"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "test-mode")
+	RegisterBuildInfo(nil, "ignored") // must not panic
+	var found Sample
+	for _, s := range r.Snapshot() {
+		if strings.HasPrefix(s.Name, "pia_build_info{") {
+			found = s
+		}
+	}
+	if found.Name == "" || found.Value != 1 {
+		t.Fatalf("pia_build_info missing or not 1: %+v", found)
+	}
+	for _, want := range []string{`mode="test-mode"`, `go="`, `version="`} {
+		if !strings.Contains(found.Name, want) {
+			t.Fatalf("pia_build_info labels missing %s: %s", want, found.Name)
+		}
+	}
+	if BuildVersion() == "" {
+		t.Fatal("BuildVersion must never be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# HELP pia_build_info") {
+		t.Fatalf("pia_build_info must carry help text:\n%s", buf.String())
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter(Label("pia_j", "n", "1")).Add(3)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/resilience"
 	"repro/internal/snapshot"
@@ -123,6 +124,11 @@ type Node struct {
 	// are already exported through metricsReg.
 	tlRec       *timeline.Recorder
 	tlMetricsOn bool
+
+	// flightObs, when non-nil, is the flight observer notified on
+	// connection failures (see flight.go). Error paths pay one
+	// nil-guarded accessor, nothing more.
+	flightObs *flight.Observer
 
 	// Tracer receives connection-level diagnostics.
 	Tracer func(string)
@@ -468,6 +474,7 @@ func (n *Node) acceptLoop(ln net.Listener) {
 		go func() {
 			defer n.wg.Done()
 			if err := n.serveConn(wire.NewConn(c), nil); err != nil && !n.isClosed() {
+				n.notePeerLost(err)
 				n.trace("node %s: connection error: %v", n.name, err)
 			}
 		}()
@@ -490,6 +497,7 @@ func (n *Node) acceptSessions(rl *resilience.Listener) {
 		go func() {
 			defer n.wg.Done()
 			if err := n.serveConn(wire.NewConn(sess), sess); err != nil && !n.isClosed() {
+				n.notePeerLost(err)
 				n.trace("node %s: connection error: %v", n.name, err)
 			}
 		}()
@@ -604,6 +612,7 @@ func (n *Node) Connect(localSub, addr, remoteSub string, policy channel.Policy, 
 	go func() {
 		defer n.wg.Done()
 		if err := n.pump(c, ep, hosted, sess); err != nil && !n.isClosed() {
+			n.notePeerLost(err)
 			n.trace("node %s: channel to %s: %v", n.name, remoteSub, err)
 		}
 	}()

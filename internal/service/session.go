@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/vtime"
 )
@@ -53,6 +54,10 @@ type Session struct {
 	runDone  chan struct{} // closed once the auto_run watcher records the outcome
 	stepping bool          // a Step released mu to run the scheduler
 	stepDone chan struct{} // closed when the in-flight Step settles
+
+	// flight, set by build, receives lifecycle transitions; failures
+	// trip it into a post-mortem. Nil-safe (disabled path).
+	flight *flight.Observer
 
 	evictLimit          string
 	evictUsed, evictMax int64
@@ -137,6 +142,8 @@ func (s *Session) startAuto() {
 			default:
 				s.state = StateFailed
 				s.runErr = err
+				s.flight.Event("session", s.id, "auto_run failed: "+err.Error(), 0)
+				s.flight.Trip("session-failed", s.id+": "+err.Error())
 			}
 			s.rev++
 		}

@@ -2,6 +2,8 @@ package pia
 
 import (
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -10,10 +12,13 @@ import (
 // TestMetricsHammer runs a two-node cluster with coalescing, seeded
 // WAN faults, and resumable sessions — every observable surface the
 // framework has — while goroutines hammer every Stats()/snapshot
-// accessor concurrently with the live traffic. Run under -race (the
-// Makefile `metrics` target does), it pins the contract that every
-// one of these accessors is safe from any goroutine at any time, so
-// future counters can't regress into data races.
+// accessor concurrently with the live traffic, a live SSE /watch
+// client streams telemetry, a second /watch client deliberately
+// stalls, and GET /debug/flight is served throughout. Run under -race
+// (the Makefile `metrics` and `obs` targets do), it pins the contract
+// that every one of these accessors is safe from any goroutine at any
+// time, and that a stalled watcher is dropped without ever blocking a
+// publisher.
 func TestMetricsHammer(t *testing.T) {
 	src := &pingState{N: 300}
 	dst := &pongState{}
@@ -46,6 +51,48 @@ func TestMetricsHammer(t *testing.T) {
 	for _, sub := range cl.Subsystems {
 		rec.Attach(sub)
 	}
+
+	// The full flight stack: recorder + hub on the cluster's failure
+	// triggers, cost attribution on every dispatch, and a sampler
+	// feeding /watch at an aggressive cadence.
+	frec := NewFlightRecorder(128) // small ring: wraps under fire
+	fhub := NewFlightHub()
+	fobs := &FlightObserver{Rec: frec, Hub: fhub}
+	frec.AttachRegistry(reg)
+	cl.EnableFlight(fobs)
+	cl.EnableCostAttribution(reg, 3)
+	sampler := NewFlightSampler(reg, frec, fhub, 5*time.Millisecond)
+	sampler.Start()
+	defer sampler.Stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/watch", fhub)
+	mux.Handle("/debug/flight", frec)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	defer srv.CloseClientConnections() // unblock any handler mid-write
+
+	// A healthy streaming client drains the live SSE feed for the
+	// whole run.
+	healthy, err := http.Get(srv.URL + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Body.Close()
+	healthyDone := make(chan struct{})
+	go func() {
+		defer close(healthyDone)
+		_, _ = io.Copy(io.Discard, healthy.Body)
+	}()
+
+	// A second client subscribes and then never reads: its queue must
+	// fill and the hub must cut it loose without any publisher ever
+	// blocking on it.
+	stalled, err := http.Get(srv.URL + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Body.Close()
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -95,9 +142,36 @@ func TestMetricsHammer(t *testing.T) {
 				_ = rec.Len()
 				_ = rec.Digest()
 				_ = rec.Events()
+				// Flight recorder and hub accessors.
+				_ = frec.BuildDump()
+				_, _ = frec.Tripped()
+				_ = fhub.Subscribers()
+				_ = fhub.Dropped()
+				_ = fhub.Sent()
 			}
 		}()
 	}
+
+	// One more goroutine serves GET /debug/flight over real HTTP in a
+	// loop: the dump is built while the ring, registry, and timeline
+	// are all being written.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/debug/flight")
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
 
 	err = cl.Run(Time(Seconds(1)))
 	close(stop)
@@ -144,5 +218,46 @@ func TestMetricsHammer(t *testing.T) {
 		if _, ok := byName[series]; !ok {
 			t.Fatalf("optimistic series %s missing from snapshot", series)
 		}
+	}
+	// Cost attribution saw every dispatch.
+	if byName[`pia_comp_cost_ns_total{sub="ssA",comp="src"}`] <= 0 {
+		t.Fatal("no attributed cost for ssA/src in snapshot")
+	}
+	if byName[`pia_comp_cost_top{sub="ssA",rank="1",comp="src"}`] <= 0 {
+		t.Fatal("no top-N cost gauge for ssA in snapshot")
+	}
+
+	// The stalled client must be cut loose by a publisher without the
+	// publisher ever blocking: burst transitions until the hub drops
+	// it. The loop terminating at all IS the non-blocking contract —
+	// each publish either enqueues or drops, never waits — and the
+	// healthy client keeps streaming throughout.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; fhub.Dropped() == 0; i++ {
+		fobs.Event("health", "hammer", "synthetic burst", int64(i))
+		if i%512 == 0 {
+			time.Sleep(time.Millisecond) // let the healthy reader drain
+			if time.Now().After(deadline) {
+				t.Fatal("stalled /watch client was never dropped")
+			}
+		}
+	}
+	if got := fhub.Dropped(); got < 1 {
+		t.Fatalf("hub dropped %d subscribers, want >= 1", got)
+	}
+	// The recorder never tripped: faults, rollbacks and the burst are
+	// all healthy operation.
+	if tripped, reason := frec.Tripped(); tripped {
+		t.Fatalf("flight recorder tripped during healthy run: %s", reason)
+	}
+
+	// Teardown in dependency order: force-close server conns so the
+	// stalled handler's blocked write unwinds, then confirm the healthy
+	// stream ends cleanly.
+	srv.CloseClientConnections()
+	select {
+	case <-healthyDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy /watch client did not terminate after server close")
 	}
 }

@@ -3,8 +3,10 @@ package pia
 import (
 	"errors"
 	"io"
+	"time"
 
 	"repro/internal/debug"
+	"repro/internal/flight"
 	"repro/internal/iss"
 	"repro/internal/metrics"
 	"repro/internal/timeline"
@@ -121,6 +123,84 @@ func (sim *Simulation) WriteTimeline(w io.Writer) error {
 		return errTimelineDisabled
 	}
 	return timeline.WritePerfetto(w, timeline.Canonical(rec.Events()), timeline.ExportOptions{})
+}
+
+type (
+	// FlightRecorder is the bounded black-box ring correlating recent
+	// timeline events, metric deltas, and health transitions; on a
+	// failure trigger it freezes into a self-contained JSON
+	// post-mortem. A nil recorder is inert.
+	FlightRecorder = flight.Recorder
+	// FlightHub fans live telemetry out to SSE /watch subscribers
+	// with per-subscriber bounded queues (slow clients are dropped,
+	// never waited on).
+	FlightHub = flight.Hub
+	// FlightObserver bundles a recorder and hub behind one nil-safe
+	// handle for the instrumented layers.
+	FlightObserver = flight.Observer
+	// FlightSampler periodically snapshots a registry and feeds
+	// metric deltas to a recorder and hub.
+	FlightSampler = flight.Sampler
+	// FlightDump is a frozen post-mortem document.
+	FlightDump = flight.Dump
+)
+
+// NewFlightRecorder creates a flight recorder retaining at most size
+// ring entries (<= 0 selects the default).
+func NewFlightRecorder(size int) *FlightRecorder { return flight.New(size) }
+
+// NewFlightHub creates an empty streaming hub. Mount it on an HTTP
+// mux as the GET /watch handler.
+func NewFlightHub() *FlightHub { return flight.NewHub() }
+
+// NewFlightSampler wires a registry to a recorder and/or hub at the
+// given cadence (<= 0 selects the default). Call Start to begin
+// sampling and Stop to halt.
+func NewFlightSampler(reg *MetricsRegistry, rec *FlightRecorder, hub *FlightHub, every time.Duration) *FlightSampler {
+	return flight.NewSampler(reg, rec, hub, every)
+}
+
+// EnableFlight wires the simulation's failure triggers into the
+// observer: every subsystem's optimistic throttle collapse (a
+// rollback storm) records and trips, and the simulation's timeline
+// recorder (if enabled) is attached so post-mortems carry the event
+// tail. Call between BuildLocal and Run, after EnableTimeline if both
+// are wanted. A nil/empty observer leaves the hot paths untouched.
+func (sim *Simulation) EnableFlight(o *FlightObserver) {
+	if !o.Enabled() {
+		return
+	}
+	if sim.timelineRec != nil {
+		o.Rec.AttachTimeline(sim.timelineRec)
+	}
+	for _, name := range sim.subOrder {
+		sub := sim.Subsystems[name]
+		name := name
+		prev := sub.OnThrottleCollapse
+		sub.OnThrottleCollapse = func(spec, aborted int) {
+			if prev != nil {
+				prev(spec, aborted)
+			}
+			o.Event("throttle", name, "rollback storm: speculation window collapsed", int64(aborted))
+			o.Trip("rollback-storm", name)
+		}
+	}
+}
+
+// EnableCostAttribution turns on per-component wall-clock cost
+// attribution for every subsystem: monotonic stamps around each
+// dispatch, aggregated into per-component histograms, lifetime
+// totals, and a top-N ranking in reg (nil selects the process-default
+// registry). topN <= 0 defaults to 5. Call between BuildLocal and
+// Run.
+func (sim *Simulation) EnableCostAttribution(reg *MetricsRegistry, topN int) *MetricsRegistry {
+	if reg == nil {
+		reg = defaultMetrics
+	}
+	for _, name := range sim.subOrder {
+		sim.Subsystems[name].EnableCostAttribution(reg, topN)
+	}
+	return reg
 }
 
 type (
